@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through
+:mod:`repro.experiments` and prints the resulting table, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the full evaluation section (at the scaled sizes documented in
+EXPERIMENTS.md).  Heavy experiments run exactly once per benchmark
+(``rounds=1``); the micro-benchmarks of the simulator itself use normal
+pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def report():
+    """Print an ExperimentResult table after the benchmark (visible with -s)."""
+
+    def _print(result):
+        print()
+        print(result.to_table())
+        return result
+
+    return _print

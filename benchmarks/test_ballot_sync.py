@@ -1,0 +1,18 @@
+"""Benchmark: Section VI-B (ballot_sync removal is Volta-specific)."""
+
+from repro.experiments import run_ballot_sync
+
+from .conftest import run_once
+
+
+def test_ballot_sync_removal_per_gpu(benchmark, report):
+    result = run_once(benchmark, run_ballot_sync)
+    report(result)
+    rows = {row["gpu"]: row for row in result.rows}
+    assert rows["V100"]["independent_thread_scheduling"]
+    assert not rows["P100"]["independent_thread_scheduling"]
+    # Paper: ~4% on the V100, no improvement on the P100.
+    assert rows["V100"]["improvement"] > 0.02
+    assert rows["P100"]["improvement"] < 0.03
+    assert rows["V100"]["improvement"] > rows["P100"]["improvement"]
+    assert all(row["still_validates"] for row in result.rows)

@@ -1,0 +1,27 @@
+"""Benchmark: Section VI-D (SIMCoV boundary-check removal vs zero padding)."""
+
+from repro.experiments import run_boundary
+
+from .conftest import run_once
+
+
+def test_boundary_removal_vs_padding(benchmark, report):
+    result = run_once(benchmark, run_boundary)
+    report(result)
+    rows = {row["variant"]: row for row in result.rows}
+
+    original = rows["original (checked)"]
+    removal = rows["GEVO boundary removal"]
+    assert original["passes_fitness"] and original["passes_heldout"]
+    # The unsafe optimization: faster, passes the small fitness grid, faults on
+    # the larger held-out grid (the paper's segmentation fault).
+    assert removal["improvement"] > 0.08
+    assert removal["passes_fitness"]
+    assert not removal["passes_heldout"]
+
+    checked = rows["spread kernel: checked"]
+    removed = rows["spread kernel: checks removed"]
+    padded = rows["spread kernel: zero padding"]
+    assert removed["fitness_ms"] < checked["fitness_ms"]
+    assert padded["fitness_ms"] < checked["fitness_ms"]
+    assert padded["passes_heldout"] and not removed["passes_heldout"]

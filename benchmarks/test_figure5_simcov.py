@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (SIMCoV speedups on three GPU generations)."""
+
+from repro.experiments import run_figure5
+
+from .conftest import run_once
+
+
+def test_figure5_simcov_speedups(benchmark, report):
+    result = run_once(benchmark, run_figure5)
+    report(result)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row["baseline_valid"] and row["gevo_valid"]
+        # Paper: 1.16x - 1.43x depending on the GPU.
+        assert 1.1 < row["speedup"] < 1.6

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6 (distribution over repeated GEVO runs).
+
+Scaled well below the paper's ten 130-300-generation runs; the preserved
+property is that repeated runs produce a spread of final speedups with a
+best at least as good as the mean (the paper's argument for running GEVO
+multiple times).
+"""
+
+from repro.experiments import run_figure6
+
+from .conftest import run_once
+
+
+def test_figure6_run_distribution(benchmark, report):
+    result = run_once(benchmark, run_figure6,
+                      runs=2, population_size=8, generations=5, include_simcov=True)
+    report(result)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert row["runs"] == 2
+        assert row["best"] >= row["mean"] >= row["worst"] >= 0.95

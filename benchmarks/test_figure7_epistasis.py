@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 7 / Section V (minimization, independence, epistasis).
+
+Shape being checked: the ADEPT-V1 epistatic cluster {5, 6, 8, 10} has the
+paper's dependency structure (8 and 10 depend on 6; 5, 8 and 10 fail
+alone; the full cluster gives the largest improvement).
+"""
+
+from repro.experiments import run_figure7
+
+from .conftest import run_once
+
+
+def test_figure7_epistatic_cluster(benchmark, report):
+    result = run_once(benchmark, run_figure7)
+    report(result)
+    stages = {row.get("stage") for row in result.rows}
+    assert {"Algorithm 1 (minimization)", "Algorithm 2 (independence)",
+            "subset", "dependency graph"} <= stages
+
+    subsets = {row["subset"]: row for row in result.rows if row.get("stage") == "subset"}
+    # Singletons 5, 8 and 10 fail verification.
+    assert not subsets["edit5"]["valid"]
+    assert not subsets["edit8"]["valid"]
+    assert not subsets["edit10"]["valid"]
+    # Edit 6 alone is valid but contributes (almost) nothing.
+    assert subsets["edit6"]["valid"]
+    assert subsets["edit6"]["improvement"] < 0.05
+    # The full cluster is valid and the largest contributor (paper: ~15%).
+    full = subsets["edit5+edit6+edit8+edit10"]
+    assert full["valid"]
+    assert full["improvement"] > 0.08
+    assert full["improvement"] >= max(row["improvement"]
+                                      for row in subsets.values() if row["valid"])
+
+    algo2 = next(row for row in result.rows if row.get("stage") == "Algorithm 2 (independence)")
+    assert algo2["epistatic"] >= 3
+    assert algo2["epistatic_improvement"] > algo2["independent_improvement"] * 0.8

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 8 (discovery sequence of the epistatic edits).
+
+A scaled-down live GEVO run; the property preserved from the paper is the
+ordering constraint -- the enabling edit (6) is assembled into the best
+individual no later than its dependent edits (8, 10), and the staging edit
+(5) cannot be first.
+"""
+
+from repro.experiments import run_figure8
+
+from .conftest import run_once
+
+
+def test_figure8_discovery_sequence(benchmark, report):
+    result = run_once(benchmark, run_figure8,
+                      population_size=12, generations=10, seed=7,
+                      candidate_probability=0.5)
+    report(result)
+    events = {row["edit"]: row["generation"] for row in result.rows
+              if row["edit"].startswith("edit")}
+    final = next(row for row in result.rows if row["edit"] == "final")
+    assert final["speedup"] >= 1.0
+
+    discovered = {label: generation for label, generation in events.items()
+                  if generation is not None}
+    if "edit8" in discovered or "edit10" in discovered:
+        # A dependent edit can only enter the best individual together with or
+        # after the enabling edit 6.
+        assert "edit6" in discovered
+        dependent_generations = [generation for label, generation in discovered.items()
+                                 if label in ("edit8", "edit10")]
+        assert min(dependent_generations) >= discovered["edit6"]
+    if "edit5" in discovered:
+        assert discovered["edit5"] >= discovered.get("edit6", 0)

@@ -1,0 +1,21 @@
+"""Benchmark: Section IV generality (cross-GPU portability of discovered edits)."""
+
+from repro.experiments import run_generality
+
+from .conftest import run_once
+
+
+def test_cross_gpu_portability(benchmark, report):
+    result = run_once(benchmark, run_generality)
+    report(result)
+    per_gpu = {row["gpu"]: row for row in result.rows if " vs " not in str(row["gpu"])}
+    assert set(per_gpu) == {"P100", "1080Ti", "V100"}
+    for row in per_gpu.values():
+        assert row["adept_v1_valid"] and row["simcov_valid"]
+        assert row["adept_v1_speedup"] > 1.1
+        assert row["simcov_speedup"] > 1.1
+    # Relative retention rows: the P100-discovered edits keep most of the gain
+    # elsewhere (paper: ~99% for ADEPT-V0 / SIMCoV).
+    relative = [row for row in result.rows if " vs " in str(row["gpu"])]
+    for row in relative:
+        assert row["simcov_speedup"] > 0.85

@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the simulated GPU itself (wall-clock of the simulator).
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+the reproduction's own substrate, useful when tuning the interpreter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuDevice, get_arch
+from repro.workloads import ToyWorkloadAdapter
+from repro.workloads.adept import AdeptDriver, generate_pairs
+from repro.workloads.simcov import SimCovDriver, SimCovParams
+
+
+@pytest.fixture(scope="module")
+def device():
+    return GpuDevice(get_arch("P100"))
+
+
+def test_toy_kernel_launch_wallclock(benchmark):
+    adapter = ToyWorkloadAdapter(elements=256)
+    module = adapter.original_module()
+
+    def launch():
+        return adapter.evaluate(module).runtime_ms
+
+    runtime = benchmark(launch)
+    assert runtime > 0
+
+
+def test_adept_v1_alignment_wallclock(benchmark, device):
+    pairs = generate_pairs(2, reference_length=48, query_length=30, seed=3)
+    driver = AdeptDriver.for_version("v1", pairs, device)
+
+    def align():
+        return driver.run(pairs).kernel_time_ms
+
+    runtime = benchmark.pedantic(align, rounds=3, iterations=1)
+    assert runtime > 0
+
+
+def test_simcov_step_wallclock(benchmark):
+    driver = SimCovDriver(arch=get_arch("P100"))
+    params = SimCovParams.quick()
+
+    def simulate():
+        return driver.run(params).kernel_time_ms
+
+    runtime = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert runtime > 0

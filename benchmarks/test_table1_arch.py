@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (GPU architectural characteristics)."""
+
+from repro.experiments import run_table1
+
+from .conftest import run_once
+
+
+def test_table1_architecture_table(benchmark, report):
+    result = run_once(benchmark, run_table1)
+    report(result)
+    assert [row["GPU"] for row in result.rows] == ["P100", "1080Ti", "V100"]
+    assert result.rows[2]["Architecture Family"] == "Volta"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""ADEPT sequence alignment on the simulated GPU (paper Sections II-B, IV, VI-A).
+
+The script:
+
+1. generates a batch of synthetic DNA pairs and aligns them with the
+   hand-tuned ADEPT-V1 kernel, validating every score against the CPU
+   Smith-Waterman reference;
+2. applies the recorded GEVO-discovered edits (the register-to-shared-memory
+   exchange rewrite of Figure 9 plus the independent edits) and shows the
+   additional speedup on each simulated GPU;
+3. shows the naive ADEPT-V0 kernel and the ~30x effect of removing its
+   redundant initialization region (Section VI-C).
+
+Run with::
+
+    python examples/adept_alignment.py
+"""
+
+from __future__ import annotations
+
+from repro.gevo import apply_edits
+from repro.gpu import EVALUATION_ORDER, get_arch
+from repro.workloads.adept import (
+    AdeptWorkloadAdapter,
+    adept_v0_discovered_edits,
+    adept_v1_discovered_edits,
+    batch_alignment_scores,
+    generate_pairs,
+    search_pairs,
+    traceback,
+)
+
+
+def align_and_validate() -> None:
+    pairs = generate_pairs(4, reference_length=48, query_length=32, seed=11)
+    adapter = AdeptWorkloadAdapter("v1", get_arch("P100"), fitness_cases=[pairs])
+    result = adapter.driver.run(pairs)
+    expected = batch_alignment_scores(pairs)
+    print("Pair  GPU score  CPU score  alignment (reference fragment)")
+    for index, pair in enumerate(pairs):
+        aligned_a, aligned_b = traceback(pair.reference, pair.query)
+        print(f"{index:4d}  {int(result.scores[index]):9d}  {int(expected[index]):9d}  "
+              f"{aligned_a[:32]}")
+    assert (result.scores == expected).all(), "GPU kernel must match the CPU reference"
+    print(f"Batch kernel time on the simulated P100: {result.kernel_time_ms:.4f} ms\n")
+
+
+def optimize_hand_tuned_version() -> None:
+    print("GEVO-discovered optimization of the hand-tuned ADEPT-V1:")
+    for arch_name in EVALUATION_ORDER:
+        adapter = AdeptWorkloadAdapter("v1", get_arch(arch_name),
+                                       fitness_cases=[search_pairs()])
+        baseline = adapter.baseline()
+        edits = adept_v1_discovered_edits(adapter.kernel)
+        optimized = adapter.evaluate(apply_edits(adapter.original_module(), edits).module)
+        print(f"  {arch_name:7s}: {baseline.runtime_ms:.4f} ms -> {optimized.runtime_ms:.4f} ms "
+              f"({baseline.runtime_ms / optimized.runtime_ms:.3f}x, "
+              f"still 100% accurate: {optimized.valid})")
+    print()
+
+
+def optimize_naive_version() -> None:
+    pairs = generate_pairs(1, reference_length=36, query_length=22, seed=5)
+    adapter = AdeptWorkloadAdapter("v0", get_arch("P100"), fitness_cases=[pairs])
+    baseline = adapter.baseline()
+    edits = adept_v0_discovered_edits(adapter.kernel)
+    optimized = adapter.evaluate(apply_edits(adapter.original_module(), edits).module)
+    print("Naive ADEPT-V0 and the redundant-initialization removal (Section VI-C):")
+    print(f"  before: {baseline.runtime_ms:.4f} ms   after: {optimized.runtime_ms:.4f} ms   "
+          f"speedup {baseline.runtime_ms / optimized.runtime_ms:.1f}x "
+          f"(valid: {optimized.valid})")
+
+
+def main() -> None:
+    align_and_validate()
+    optimize_hand_tuned_version()
+    optimize_naive_version()
+
+
+if __name__ == "__main__":
+    main()

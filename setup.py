@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed in fully offline environments where the ``wheel``
+package (needed for PEP 517 editable installs) is unavailable::
+
+    python setup.py develop   # offline equivalent of `pip install -e .`
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro: reproduction of "Understanding the Power of Evolutionary Computation
+for GPU Code Optimization" (IISWC 2022).
+
+The package is organised as:
+
+* :mod:`repro.ir` -- the mini GPU IR that GEVO's operators mutate.
+* :mod:`repro.gpu` -- the simulated P100 / 1080Ti / V100 devices.
+* :mod:`repro.gevo` -- the evolutionary search (edits, operators, fitness, loop).
+* :mod:`repro.analysis` -- edit minimization, epistasis and discovery analyses.
+* :mod:`repro.workloads` -- the ADEPT and SIMCoV applications.
+* :mod:`repro.baselines` -- non-evolutionary search baselines.
+* :mod:`repro.experiments` -- one module per paper table / figure.
+"""
+
+from .errors import (
+    EditError,
+    IRError,
+    IRParseError,
+    IRVerificationError,
+    KernelTrap,
+    LaunchError,
+    ReproError,
+    SearchError,
+    SimulatorError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EditError",
+    "IRError",
+    "IRParseError",
+    "IRVerificationError",
+    "KernelTrap",
+    "LaunchError",
+    "ReproError",
+    "SearchError",
+    "SimulatorError",
+    "ValidationError",
+    "__version__",
+]

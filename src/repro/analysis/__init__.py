@@ -1,0 +1,49 @@
+"""Post-hoc analyses of GEVO-discovered optimizations (paper Sections V and VI).
+
+* Algorithm 1: :func:`identify_weak_edits` -- drop edits contributing < 1%.
+* Algorithm 2: :func:`separate_edits` -- split independent vs epistatic edits.
+* Exhaustive subsets: :func:`exhaustive_subset_analysis` + :func:`figure7_report`.
+* Discovery sequence: :func:`discovery_sequence` (Figure 8).
+* Source mapping: :func:`map_edits_to_source` (Figure 9 style reports).
+"""
+
+from .depgraph import EpistaticCluster, build_dependency_graph, epistatic_clusters, figure7_report
+from .discovery import (
+    DiscoveryEvent,
+    DiscoverySequence,
+    cumulative_discovery_table,
+    discovery_sequence,
+)
+from .epistasis import EpistasisResult, separate_edits
+from .minimization import MinimizationResult, identify_weak_edits
+from .source_map import (
+    EditSourceRecord,
+    edits_by_source_line,
+    format_source_report,
+    locate_edit,
+    map_edits_to_source,
+)
+from .subsets import SubsetAnalysis, SubsetOutcome, exhaustive_subset_analysis
+
+__all__ = [
+    "DiscoveryEvent",
+    "DiscoverySequence",
+    "EditSourceRecord",
+    "EpistasisResult",
+    "EpistaticCluster",
+    "MinimizationResult",
+    "SubsetAnalysis",
+    "SubsetOutcome",
+    "build_dependency_graph",
+    "cumulative_discovery_table",
+    "discovery_sequence",
+    "edits_by_source_line",
+    "epistatic_clusters",
+    "exhaustive_subset_analysis",
+    "figure7_report",
+    "format_source_report",
+    "identify_weak_edits",
+    "locate_edit",
+    "map_edits_to_source",
+    "separate_edits",
+]

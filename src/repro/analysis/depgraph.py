@@ -1,0 +1,69 @@
+"""Edit dependency graph (Figure 7).
+
+Turns the exhaustive subset analysis into the relation graph the paper
+draws: nodes are edits, an arrow ``a -> b`` means edit *a* only functions
+when edit *b* is also applied, and connected components are the epistatic
+clusters whose joint contribution is reported alongside the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .subsets import SubsetAnalysis
+
+
+@dataclass
+class EpistaticCluster:
+    """One connected group of interdependent edits."""
+
+    members: Tuple[str, ...]
+    improvement: float
+    valid: bool
+
+
+def build_dependency_graph(analysis: SubsetAnalysis) -> "nx.DiGraph":
+    """Directed graph of edit dependencies derived from the subset sweep."""
+    graph = nx.DiGraph()
+    for label in analysis.labels.values():
+        graph.add_node(label)
+    for label, required in analysis.dependencies().items():
+        for dependency in required:
+            graph.add_edge(label, dependency)
+    return graph
+
+
+def epistatic_clusters(analysis: SubsetAnalysis) -> List[EpistaticCluster]:
+    """Connected components of the dependency graph with their contributions."""
+    graph = build_dependency_graph(analysis)
+    clusters: List[EpistaticCluster] = []
+    for component in nx.weakly_connected_components(graph):
+        members = tuple(sorted(component))
+        outcome = analysis.outcome_for(list(members))
+        clusters.append(EpistaticCluster(
+            members=members,
+            improvement=outcome.improvement if outcome is not None and outcome.valid else 0.0,
+            valid=outcome.valid if outcome is not None else False,
+        ))
+    clusters.sort(key=lambda cluster: cluster.improvement, reverse=True)
+    return clusters
+
+
+def figure7_report(analysis: SubsetAnalysis) -> Dict[str, object]:
+    """The data behind Figure 7 as a plain dictionary (printed by the bench)."""
+    best = analysis.best_subset()
+    return {
+        "edits": sorted(analysis.labels.values()),
+        "failing_alone": sorted(analysis.failing_singletons()),
+        "dependencies": analysis.dependencies(),
+        "clusters": [
+            {"members": list(cluster.members), "improvement": cluster.improvement}
+            for cluster in epistatic_clusters(analysis)
+        ],
+        "best_subset": list(best.labels) if best is not None else [],
+        "best_improvement": best.improvement if best is not None else 0.0,
+        "subsets_evaluated": len(analysis.outcomes),
+    }

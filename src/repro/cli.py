@@ -1,0 +1,120 @@
+"""Command-line interface for the reproduction.
+
+Two sub-commands are provided::
+
+    python -m repro.cli list                     # show available experiments
+    python -m repro.cli run figure5              # regenerate one table / figure
+    python -m repro.cli run figure5 --arch P100  # restrict to one GPU where supported
+    python -m repro.cli search toy --generations 8   # run a small live GEVO search
+
+The experiment identifiers match DESIGN.md / EXPERIMENTS.md and the
+benchmark harness, so the CLI is simply another front end over
+:mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import available_experiments, get_experiment
+from .gevo import GevoConfig, GevoSearch
+from .gpu import EVALUATION_ORDER, get_arch
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Understanding the Power of Evolutionary Computation "
+                    "for GPU Code Optimization' (IISWC 2022)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
+    run_parser.add_argument("experiment", help="experiment identifier (see 'list')")
+    run_parser.add_argument("--arch", choices=list(EVALUATION_ORDER), default=None,
+                            help="restrict architecture-sweep experiments to one GPU")
+
+    search_parser = subparsers.add_parser(
+        "search", help="run a scaled-down live GEVO search on one workload")
+    search_parser.add_argument("workload", choices=["toy", "adept-v1", "simcov"])
+    search_parser.add_argument("--arch", choices=list(EVALUATION_ORDER), default="P100")
+    search_parser.add_argument("--population", type=int, default=12)
+    search_parser.add_argument("--generations", type=int, default=8)
+    search_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _make_adapter(workload: str, arch_name: str):
+    arch = get_arch(arch_name)
+    if workload == "toy":
+        from .workloads import ToyWorkloadAdapter
+
+        return ToyWorkloadAdapter(arch)
+    if workload == "adept-v1":
+        from .workloads.adept import AdeptWorkloadAdapter, search_pairs
+
+        return AdeptWorkloadAdapter("v1", arch, fitness_cases=[search_pairs()])
+    from .workloads.simcov import SimCovParams, SimCovWorkloadAdapter
+
+    return SimCovWorkloadAdapter(arch, fitness_params=SimCovParams.quick())
+
+
+def _command_list() -> int:
+    print("available experiments:")
+    for name in available_experiments():
+        print(f"  {name}")
+    return 0
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    try:
+        experiment = get_experiment(arguments.experiment)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    kwargs = {}
+    if arguments.arch is not None:
+        # Architecture-sweep experiments accept an `architectures` list; the
+        # single-GPU analyses accept `arch_name`.
+        if arguments.experiment in ("figure4", "figure5", "ballot_sync", "generality"):
+            kwargs["architectures"] = [arguments.arch]
+        elif arguments.experiment in ("figure6", "figure7", "figure8", "boundary"):
+            kwargs["arch_name"] = arguments.arch
+    result = experiment(**kwargs)
+    print(result.to_table())
+    return 0
+
+
+def _command_search(arguments: argparse.Namespace) -> int:
+    adapter = _make_adapter(arguments.workload, arguments.arch)
+    config = GevoConfig.quick(seed=arguments.seed,
+                              population_size=arguments.population,
+                              generations=arguments.generations)
+    print(f"searching {adapter.name}: population={config.population_size}, "
+          f"generations={config.generations}")
+    result = GevoSearch(adapter, config).run(validate_best=True)
+    print(f"best speedup: {result.speedup:.3f}x with {len(result.best_edits())} edits "
+          f"({result.evaluations} evaluations, {result.wall_clock_seconds:.1f}s)")
+    if result.validation is not None:
+        print(f"held-out validation: {'pass' if result.validation.valid else 'FAIL'}")
+    for edit in result.best_edits():
+        print(f"  - {edit.describe(adapter.original_module())}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro.cli``."""
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "list":
+        return _command_list()
+    if arguments.command == "run":
+        return _command_run(arguments)
+    return _command_search(arguments)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

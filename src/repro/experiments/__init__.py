@@ -1,0 +1,37 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+Use the registry to run any experiment by its identifier::
+
+    from repro.experiments import get_experiment
+
+    result = get_experiment("figure4")()
+    print(result.to_table())
+"""
+
+from . import ballot_sync, boundary, figure4, figure5, figure6, figure7, figure8, generality, table1
+from .ballot_sync import ballot_sync as run_ballot_sync
+from .boundary import boundary as run_boundary
+from .figure4 import figure4 as run_figure4
+from .figure5 import figure5 as run_figure5
+from .figure6 import figure6 as run_figure6
+from .figure7 import figure7 as run_figure7
+from .figure8 import figure8 as run_figure8
+from .generality import generality as run_generality
+from .registry import ExperimentResult, available_experiments, get_experiment, register
+from .table1 import table1 as run_table1
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "get_experiment",
+    "register",
+    "run_ballot_sync",
+    "run_boundary",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_generality",
+    "run_table1",
+]

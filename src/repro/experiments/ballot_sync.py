@@ -1,0 +1,38 @@
+"""Section VI-B: removing ballot_sync helps on Volta, not on Pascal."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..gevo import apply_edits
+from ..gpu import EVALUATION_ORDER, get_arch
+from ..workloads.adept import AdeptWorkloadAdapter, adept_v1_ballot_sync_edits
+from .registry import ExperimentResult, register
+
+
+@register("ballot_sync")
+def ballot_sync(architectures: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Measure the ballot_sync-removal edit on every GPU generation."""
+    architectures = list(architectures or EVALUATION_ORDER)
+    result = ExperimentResult(
+        experiment="Section VI-B",
+        description="Warp-level synchronisation removal (ballot_sync) per GPU",
+    )
+    for arch_name in architectures:
+        arch = get_arch(arch_name)
+        adapter = AdeptWorkloadAdapter("v1", arch)
+        baseline = adapter.baseline()
+        edits = adept_v1_ballot_sync_edits(adapter.kernel)
+        optimized = adapter.evaluate(apply_edits(adapter.original_module(), edits).module)
+        result.add_row(
+            gpu=arch_name,
+            independent_thread_scheduling=arch.independent_thread_scheduling,
+            baseline_ms=baseline.runtime_ms,
+            without_ballot_ms=optimized.runtime_ms,
+            improvement=(baseline.runtime_ms - optimized.runtime_ms) / baseline.runtime_ms,
+            still_validates=optimized.valid,
+        )
+    result.add_note("Paper reference: ~4% improvement on the V100 (Volta, independent thread "
+                    "scheduling), no improvement on the P100; the edit violates the CUDA "
+                    "programming guide yet passes every verification test.")
+    return result

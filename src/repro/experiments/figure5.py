@@ -1,0 +1,39 @@
+"""Figure 5: SIMCoV performance on the three GPU generations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..gevo import apply_edits
+from ..gpu import EVALUATION_ORDER, get_arch
+from ..workloads.simcov import SimCovParams, SimCovWorkloadAdapter, simcov_discovered_edits
+from .registry import ExperimentResult, register
+
+
+@register("figure5")
+def figure5(architectures: Optional[Sequence[str]] = None,
+            params: Optional[SimCovParams] = None) -> ExperimentResult:
+    """Reproduce Figure 5: SIMCoV vs SIMCoV-GEVO on each GPU (scaled grid)."""
+    architectures = list(architectures or EVALUATION_ORDER)
+    params = params or SimCovParams.fitness()
+    result = ExperimentResult(
+        experiment="Figure 5",
+        description="SIMCoV speedup from the GEVO-discovered edits, per GPU",
+    )
+    for arch_name in architectures:
+        adapter = SimCovWorkloadAdapter(get_arch(arch_name), fitness_params=params)
+        baseline = adapter.baseline()
+        edits = simcov_discovered_edits(adapter.kernels)
+        optimized = adapter.evaluate(apply_edits(adapter.original_module(), edits).module)
+        result.add_row(
+            gpu=arch_name,
+            simcov_ms=baseline.runtime_ms,
+            simcov_gevo_ms=optimized.runtime_ms,
+            speedup=baseline.runtime_ms / optimized.runtime_ms,
+            baseline_valid=baseline.valid,
+            gevo_valid=optimized.valid,
+        )
+    result.add_note("Paper reference: 1.29x / 1.43x / 1.17x on P100 / 1080Ti / V100.")
+    result.add_note(f"Scaled grid {params.width}x{params.height}, {params.steps} steps, "
+                    f"{params.diffusion_substeps} diffusion sub-steps per step.")
+    return result

@@ -1,0 +1,61 @@
+"""Figure 8: how the epistatic edits are discovered during the search.
+
+A (scaled-down) GEVO run is executed live on ADEPT-V1 and its recorded
+history is analysed for the generation at which each of the cluster edits
+(paper indices 5, 6, 8, 10) first enters the best individual.  The paper's
+qualitative result is an ordering constraint: edit 6 is assembled first,
+the dependent edits 8 and 10 only afterwards, and edit 5 last.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import cumulative_discovery_table, discovery_sequence
+from ..gevo import GevoConfig, GevoSearch
+from ..gpu import get_arch
+from ..workloads.adept import (
+    AdeptWorkloadAdapter,
+    adept_v1_discovered_edits,
+    adept_v1_epistatic_edits,
+    search_pairs,
+)
+from .registry import ExperimentResult, register
+
+
+@register("figure8")
+def figure8(arch_name: str = "P100", population_size: int = 16, generations: int = 18,
+            seed: int = 7, candidate_probability: float = 0.5) -> ExperimentResult:
+    """Reproduce (scaled) Figure 8: the discovery sequence of the epistatic cluster."""
+    arch = get_arch(arch_name)
+    adapter = AdeptWorkloadAdapter("v1", arch, fitness_cases=[search_pairs()])
+    kernel = adapter.kernel
+    cluster = {f"edit{index}": edit
+               for index, edit in adept_v1_epistatic_edits(kernel).items()}
+    candidates = adept_v1_discovered_edits(kernel)
+
+    config = GevoConfig.quick(seed=seed, population_size=population_size,
+                              generations=generations)
+    search = GevoSearch(adapter, config, candidate_edits=candidates,
+                        candidate_probability=candidate_probability)
+    outcome = search.run()
+
+    sequence = discovery_sequence(outcome.history, cluster)
+    result = ExperimentResult(
+        experiment="Figure 8",
+        description="Generation at which each epistatic edit first enters the best individual",
+    )
+    for row in sequence.as_rows():
+        result.add_row(**row)
+    for generation, edits in cumulative_discovery_table(outcome.history, cluster):
+        result.add_row(edit="cumulative", generation=generation,
+                       speedup=None, discovered="+".join(edits))
+    result.add_row(edit="final", generation=outcome.history.generations(),
+                   speedup=outcome.speedup,
+                   discovered=f"{len(outcome.best.edits) if outcome.best else 0} edits in best")
+    result.add_note("Paper reference: edit 6 first, edit 8 at generation 47, edit 10 at 213, "
+                    "edit 5 at 221 (over 303 generations at paper scale).")
+    result.add_note("This run is drastically scaled down and mutation is biased towards the "
+                    "recorded edit vocabulary; the preserved result is the ordering constraint "
+                    "(6 before 8/10, 5 last), not the absolute generation numbers.")
+    return result

@@ -1,0 +1,73 @@
+"""Section IV "Generality": do P100-discovered optimizations port to other GPUs?
+
+The paper evaluates the edits GEVO discovered on the P100 directly on the
+V100 and 1080Ti and finds they retain ~99% of the gain available from
+searching natively on those GPUs (for ADEPT-V0 and SIMCoV; a small part of
+the ADEPT-V1 edits is architecture-specific).  The reproduction applies the
+recorded P100 edit sets on every architecture and compares the resulting
+speedup against the natively-measured one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..gevo import apply_edits
+from ..gpu import EVALUATION_ORDER, get_arch
+from ..workloads.adept import (
+    AdeptWorkloadAdapter,
+    adept_v1_discovered_edits,
+    search_pairs,
+)
+from ..workloads.simcov import SimCovWorkloadAdapter, simcov_discovered_edits
+from .registry import ExperimentResult, register
+
+
+@register("generality")
+def generality(architectures: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Cross-architecture portability of the recorded edit sets."""
+    architectures = list(architectures or EVALUATION_ORDER)
+    result = ExperimentResult(
+        experiment="Section IV (generality)",
+        description="Portability of P100-discovered edits across GPU generations",
+    )
+
+    # The recorded edit sets are defined against the kernel structure, which
+    # is identical on every architecture, so "applying the P100 edits" on
+    # another GPU means evaluating the same edited module there.
+    for arch_name in architectures:
+        arch = get_arch(arch_name)
+        adept = AdeptWorkloadAdapter("v1", arch, fitness_cases=[search_pairs()])
+        adept_baseline = adept.baseline()
+        adept_edited = adept.evaluate(apply_edits(
+            adept.original_module(), adept_v1_discovered_edits(adept.kernel)).module)
+        simcov = SimCovWorkloadAdapter(arch)
+        simcov_baseline = simcov.baseline()
+        simcov_edited = simcov.evaluate(apply_edits(
+            simcov.original_module(), simcov_discovered_edits(simcov.kernels)).module)
+        result.add_row(
+            gpu=arch_name,
+            adept_v1_speedup=adept_baseline.runtime_ms / adept_edited.runtime_ms,
+            adept_v1_valid=adept_edited.valid,
+            simcov_speedup=simcov_baseline.runtime_ms / simcov_edited.runtime_ms,
+            simcov_valid=simcov_edited.valid,
+        )
+
+    rows = {row["gpu"]: row for row in result.rows}
+    if "P100" in rows:
+        for arch_name in architectures:
+            if arch_name == "P100":
+                continue
+            row = rows[arch_name]
+            result.add_row(
+                gpu=f"{arch_name} vs P100",
+                adept_v1_speedup=row["adept_v1_speedup"] / rows["P100"]["adept_v1_speedup"],
+                adept_v1_valid=row["adept_v1_valid"],
+                simcov_speedup=row["simcov_speedup"] / rows["P100"]["simcov_speedup"],
+                simcov_valid=row["simcov_valid"],
+            )
+    result.add_note("Paper reference: the P100-discovered optimizations retain ~99% of the "
+                    "native gain on the other GPUs for ADEPT-V0 and SIMCoV; parts of the "
+                    "ADEPT-V1 set are architecture-dependent (the ballot_sync edit only "
+                    "matters on Volta).")
+    return result

@@ -1,0 +1,20 @@
+"""Table I: architectural characteristics of the evaluated GPUs."""
+
+from __future__ import annotations
+
+from ..gpu import architecture_table
+from .registry import ExperimentResult, register
+
+
+@register("table1")
+def table1() -> ExperimentResult:
+    """Reproduce Table I from the simulated architecture presets."""
+    result = ExperimentResult(
+        experiment="Table I",
+        description="Architectural characteristics of the GPUs",
+    )
+    for row in architecture_table():
+        result.add_row(**row)
+    result.add_note("Values mirror the paper's Table I; the simulator additionally "
+                    "derives its cost-model latencies from these presets.")
+    return result

@@ -1,0 +1,50 @@
+"""Crossover (recombination) of GEVO genomes.
+
+GEVO uses a messy one-point crossover over the variable-length edit lists:
+each child takes a prefix of one parent and a suffix of the other, with the
+cut points chosen independently.  This is how interdependent edits
+discovered in different individuals can be combined into one genome -- the
+mechanism behind the assembly of the epistatic clusters analysed in
+Section V of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from .config import GevoConfig
+from .genome import Individual
+
+
+def one_point_crossover(parent_a: Individual, parent_b: Individual,
+                        rng: random.Random) -> Tuple[Individual, Individual]:
+    """Messy one-point crossover: independent cut points in each parent."""
+    edits_a, edits_b = parent_a.edits, parent_b.edits
+    cut_a = rng.randint(0, len(edits_a))
+    cut_b = rng.randint(0, len(edits_b))
+    child_one = Individual(edits=list(edits_a[:cut_a]) + list(edits_b[cut_b:]))
+    child_two = Individual(edits=list(edits_b[:cut_b]) + list(edits_a[cut_a:]))
+    return child_one, child_two
+
+
+def uniform_crossover(parent_a: Individual, parent_b: Individual,
+                      rng: random.Random) -> Tuple[Individual, Individual]:
+    """Uniform crossover over the union of both edit lists (ablation variant)."""
+    union = list(parent_a.edits) + list(parent_b.edits)
+    child_one = Individual(edits=[edit for edit in union if rng.random() < 0.5])
+    child_two = Individual(edits=[edit for edit in union if rng.random() < 0.5])
+    return child_one, child_two
+
+
+def maybe_crossover(parent_a: Individual, parent_b: Individual,
+                    config: GevoConfig, rng: random.Random,
+                    operator=one_point_crossover) -> Tuple[Individual, Individual]:
+    """Apply *operator* with the configured crossover probability.
+
+    Without crossover the children are plain copies of the parents (they may
+    still be mutated afterwards).
+    """
+    if rng.random() < config.crossover_probability:
+        return operator(parent_a, parent_b, rng)
+    return parent_a.copy(), parent_b.copy()

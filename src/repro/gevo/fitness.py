@@ -1,0 +1,182 @@
+"""Fitness evaluation harness.
+
+GEVO's fitness function is the kernel execution time averaged across all
+test cases; a variant that fails any test case is invalid and excluded
+from the fitness calculation (Section III-E).  The pieces here are:
+
+* :class:`FitnessResult` -- runtime + validity + per-case details.
+* :class:`WorkloadAdapter` -- the interface a workload (ADEPT, SIMCoV, or a
+  user's own kernel) implements so GEVO, the baselines and the analysis
+  algorithms can all drive it.
+* :class:`GenomeEvaluator` -- applies a genome to the original module and
+  runs the adapter's fitness tests, memoising results by edit-key so
+  repeated evaluations of identical genomes (common under elitism) are free.
+* :class:`EditSetEvaluator` -- the ``f(S)`` function of Algorithms 1 and 2,
+  evaluating arbitrary *sets* of edits with caching; used by the
+  minimization and epistasis analyses.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..ir.function import Module
+from .edits import Edit
+from .genome import Individual, apply_edits
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one test case."""
+
+    name: str
+    passed: bool
+    runtime_ms: float
+    message: str = ""
+
+
+@dataclass
+class FitnessResult:
+    """Outcome of evaluating one program variant."""
+
+    valid: bool
+    #: Mean kernel runtime over the passing test cases (ms); ``inf`` when invalid.
+    runtime_ms: float
+    cases: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def fitness(self) -> float:
+        return self.runtime_ms if self.valid else math.inf
+
+    def failures(self) -> List[CaseResult]:
+        return [case for case in self.cases if not case.passed]
+
+    @classmethod
+    def from_cases(cls, cases: Sequence[CaseResult]) -> "FitnessResult":
+        cases = list(cases)
+        valid = all(case.passed for case in cases) and bool(cases)
+        if valid:
+            runtime = sum(case.runtime_ms for case in cases) / len(cases)
+        else:
+            runtime = math.inf
+        return cls(valid=valid, runtime_ms=runtime, cases=cases)
+
+    @classmethod
+    def invalid(cls, message: str) -> "FitnessResult":
+        return cls(valid=False, runtime_ms=math.inf,
+                   cases=[CaseResult("error", False, math.inf, message)])
+
+
+class WorkloadAdapter(abc.ABC):
+    """Interface between GEVO and a concrete GPU workload."""
+
+    #: Human-readable workload name ("ADEPT-V1 on P100", ...).
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def original_module(self) -> Module:
+        """The unmodified program GEVO starts from."""
+
+    @abc.abstractmethod
+    def evaluate(self, module: Module) -> FitnessResult:
+        """Run the fitness test cases against *module*."""
+
+    def validate(self, module: Module) -> FitnessResult:
+        """Run the held-out validation tests (defaults to the fitness tests)."""
+        return self.evaluate(module)
+
+    # -- convenience ---------------------------------------------------------------
+    def baseline(self) -> FitnessResult:
+        """Fitness of the unmodified program."""
+        return self.evaluate(self.original_module())
+
+
+class GenomeEvaluator:
+    """Evaluates individuals against a workload adapter with memoisation."""
+
+    def __init__(self, adapter: WorkloadAdapter):
+        self.adapter = adapter
+        self._original = adapter.original_module()
+        self._cache: Dict[Tuple, FitnessResult] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    @property
+    def original(self) -> Module:
+        return self._original
+
+    def evaluate_individual(self, individual: Individual) -> FitnessResult:
+        """Evaluate *individual*, filling in its fitness/validity fields."""
+        key = individual.edit_keys()
+        result = self._cache.get(key)
+        if result is None:
+            result = self.evaluate_edits(individual.edits)
+            self._cache[key] = result
+        else:
+            self.cache_hits += 1
+        individual.mark_evaluated(
+            result.runtime_ms if result.valid else None, result.valid)
+        return result
+
+    def evaluate_edits(self, edits: Sequence[Edit]) -> FitnessResult:
+        """Apply *edits* to a clone of the original and run the fitness tests."""
+        self.evaluations += 1
+        applied = apply_edits(self._original, edits)
+        return self.adapter.evaluate(applied.module)
+
+    def evaluate_population(self, population: Sequence[Individual]) -> None:
+        for individual in population:
+            if individual.needs_evaluation():
+                self.evaluate_individual(individual)
+
+
+class EditSetEvaluator:
+    """The ``f(S)`` oracle used by Algorithms 1 and 2 of the paper.
+
+    Evaluates the program with an arbitrary *set* of edits applied (order is
+    the original discovery order restricted to the subset), caching results
+    by frozen edit-key set.  ``f(S)`` returns the mean runtime in
+    milliseconds or ``math.inf`` when the variant fails its tests.
+    """
+
+    def __init__(self, adapter: WorkloadAdapter, universe: Sequence[Edit]):
+        self.adapter = adapter
+        self.universe = list(universe)
+        self._original = adapter.original_module()
+        self._cache: Dict[FrozenSet, FitnessResult] = {}
+        self.evaluations = 0
+
+    def _ordered_subset(self, edits: Sequence[Edit]) -> List[Edit]:
+        wanted = {edit.key() for edit in edits}
+        ordered = [edit for edit in self.universe if edit.key() in wanted]
+        # Edits outside the universe (possible when callers construct novel
+        # subsets) are appended in the order given.
+        known = {edit.key() for edit in ordered}
+        ordered.extend(edit for edit in edits if edit.key() not in known)
+        return ordered
+
+    def result(self, edits: Sequence[Edit]) -> FitnessResult:
+        key = frozenset(edit.key() for edit in edits)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        applied = apply_edits(self._original, self._ordered_subset(edits))
+        result = self.adapter.evaluate(applied.module)
+        self._cache[key] = result
+        return result
+
+    def fitness(self, edits: Sequence[Edit]) -> float:
+        """``f(S)``: mean runtime (ms) of the program with *edits* applied."""
+        return self.result(edits).fitness
+
+    def fails(self, edits: Sequence[Edit]) -> bool:
+        """True when the variant with *edits* applied fails its test cases."""
+        return not self.result(edits).valid
+
+    def baseline_fitness(self) -> float:
+        """``f(empty set)``: runtime of the unmodified program."""
+        return self.fitness([])

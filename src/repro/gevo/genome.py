@@ -1,0 +1,119 @@
+"""Individuals (genomes) and edit-list application.
+
+An :class:`Individual` is an ordered list of :class:`~repro.gevo.edits.Edit`
+objects plus cached evaluation results.  Applying a genome clones the
+original module and replays the edits in order; edits that no longer apply
+(for example, a later edit references an instruction an earlier edit
+removed) are skipped by default, matching GEVO's tolerant behaviour, and
+the skipped edits are reported so analyses can account for them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import EditError
+from ..ir.function import Module
+from .edits import Edit
+
+_individual_ids = itertools.count(1)
+
+
+@dataclass
+class AppliedGenome:
+    """Result of replaying an edit list onto a fresh module clone."""
+
+    module: Module
+    applied: List[Edit]
+    skipped: List[Tuple[Edit, str]]
+
+    @property
+    def all_applied(self) -> bool:
+        return not self.skipped
+
+
+def apply_edits(original: Module, edits: Sequence[Edit], *, strict: bool = False) -> AppliedGenome:
+    """Clone *original* and apply *edits* in order.
+
+    With ``strict=False`` (the default, GEVO's behaviour) inapplicable edits
+    are skipped and recorded; with ``strict=True`` the first failure raises.
+    """
+    module = original.clone()
+    applied: List[Edit] = []
+    skipped: List[Tuple[Edit, str]] = []
+    for edit in edits:
+        try:
+            edit.apply(module)
+            applied.append(edit)
+        except EditError as exc:
+            if strict:
+                raise
+            skipped.append((edit, str(exc)))
+    return AppliedGenome(module=module, applied=applied, skipped=skipped)
+
+
+@dataclass
+class Individual:
+    """One member of the GEVO population."""
+
+    edits: List[Edit] = field(default_factory=list)
+    #: Mean kernel runtime (ms) over the fitness test cases; ``None`` until evaluated.
+    fitness: Optional[float] = None
+    #: Whether every test case passed; ``None`` until evaluated.
+    valid: Optional[bool] = None
+    #: Generation in which this individual was created.
+    birth_generation: int = 0
+    identifier: int = field(default_factory=lambda: next(_individual_ids))
+
+    def copy(self) -> "Individual":
+        """A fresh (unevaluated) copy with the same edit list."""
+        return Individual(edits=list(self.edits), birth_generation=self.birth_generation)
+
+    def edit_keys(self) -> Tuple[Tuple, ...]:
+        return tuple(edit.key() for edit in self.edits)
+
+    def deduplicated_edits(self) -> List[Edit]:
+        """Edit list with exact duplicates removed (first occurrence kept)."""
+        seen = set()
+        unique: List[Edit] = []
+        for edit in self.edits:
+            key = edit.key()
+            if key not in seen:
+                seen.add(key)
+                unique.append(edit)
+        return unique
+
+    def with_additional_edit(self, edit: Edit) -> "Individual":
+        child = self.copy()
+        child.edits.append(edit)
+        return child
+
+    def needs_evaluation(self) -> bool:
+        return self.fitness is None or self.valid is None
+
+    def mark_evaluated(self, fitness: Optional[float], valid: bool) -> None:
+        self.fitness = fitness
+        self.valid = valid
+
+    def __len__(self) -> int:
+        return len(self.edits)
+
+    def __repr__(self) -> str:
+        status = "unevaluated" if self.needs_evaluation() else (
+            f"fitness={self.fitness:.4f} valid={self.valid}")
+        return f"<Individual #{self.identifier} edits={len(self.edits)} {status}>"
+
+
+def seed_population(size: int) -> List[Individual]:
+    """The initial population: *size* copies of the unmodified program."""
+    return [Individual() for _ in range(size)]
+
+
+def unique_edit_keys(individuals: Iterable[Individual]) -> set:
+    """All distinct edit keys present in a collection of individuals."""
+    keys = set()
+    for individual in individuals:
+        keys.update(individual.edit_keys())
+    return keys

@@ -1,0 +1,165 @@
+"""Random edit generation and the GEVO mutation operator.
+
+A mutation event either appends a freshly generated random edit to the
+genome (the common case -- GEVO grows genomes one edit at a time, which is
+how stepping-stone edits accumulate), removes a random edit, or rewrites
+one existing edit with a new random one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..ir.analysis import collect_operand_pool
+from ..ir.function import Module
+from .config import GevoConfig
+from .edits import (
+    Edit,
+    InstructionCopy,
+    InstructionDelete,
+    InstructionMove,
+    InstructionReplace,
+    InstructionSwap,
+    OperandReplace,
+)
+from .genome import Individual
+
+
+class EditGenerator:
+    """Generates random edits against a fixed original module.
+
+    ``candidate_edits`` optionally biases generation: with probability
+    ``candidate_probability`` a mutation proposes one of the supplied edits
+    instead of a fully random one.  Scaled-down experiments use this to
+    reproduce the paper's search dynamics within a tractable budget -- at
+    paper scale (population 256, hundreds of generations) the same edits
+    are reachable by the unbiased operators, since every candidate is an
+    ordinary operand-replacement or deletion over the kernel.
+    """
+
+    def __init__(self, module: Module, rng: random.Random,
+                 weights: Optional[dict] = None,
+                 candidate_edits: Optional[Sequence[Edit]] = None,
+                 candidate_probability: float = 0.0):
+        self.module = module
+        self.rng = rng
+        self.weights = dict(weights or {})
+        self.candidate_edits = list(candidate_edits or [])
+        self.candidate_probability = candidate_probability
+        # Cache the mutation targets once: the original module never changes.
+        self._mutable_uids: List[int] = []
+        self._all_uids: List[int] = []
+        self._operand_targets: List[int] = []
+        self._uid_operand_counts = {}
+        for inst in module.instructions():
+            self._all_uids.append(inst.uid)
+            if not inst.info.pinned:
+                self._mutable_uids.append(inst.uid)
+            if inst.operands:
+                self._operand_targets.append(inst.uid)
+                self._uid_operand_counts[inst.uid] = len(inst.operands)
+        self._operand_pools = {
+            name: collect_operand_pool(module.functions[name])
+            for name in module.function_order()
+        }
+        self._uid_to_function = {}
+        for name in module.function_order():
+            for inst in module.functions[name].instructions():
+                self._uid_to_function[inst.uid] = name
+
+    # -- individual edit kinds -------------------------------------------------------
+    def random_delete(self) -> Optional[Edit]:
+        if not self._mutable_uids:
+            return None
+        return InstructionDelete(self.rng.choice(self._mutable_uids))
+
+    def random_copy(self) -> Optional[Edit]:
+        if not self._mutable_uids or not self._all_uids:
+            return None
+        return InstructionCopy(self.rng.choice(self._mutable_uids),
+                               self.rng.choice(self._all_uids))
+
+    def random_move(self) -> Optional[Edit]:
+        if len(self._mutable_uids) < 2:
+            return None
+        source = self.rng.choice(self._mutable_uids)
+        before = self.rng.choice(self._all_uids)
+        if source == before:
+            return None
+        return InstructionMove(source, before)
+
+    def random_replace(self) -> Optional[Edit]:
+        if len(self._mutable_uids) < 2:
+            return None
+        target, source = self.rng.sample(self._mutable_uids, 2)
+        return InstructionReplace(target, source)
+
+    def random_swap(self) -> Optional[Edit]:
+        if len(self._mutable_uids) < 2:
+            return None
+        first, second = self.rng.sample(self._mutable_uids, 2)
+        return InstructionSwap(first, second)
+
+    def random_operand_replace(self) -> Optional[Edit]:
+        if not self._operand_targets:
+            return None
+        target = self.rng.choice(self._operand_targets)
+        index = self.rng.randrange(self._uid_operand_counts[target])
+        pool = self._operand_pools[self._uid_to_function[target]]
+        if not pool:
+            return None
+        new_value = self.rng.choice(pool)
+        return OperandReplace(target, index, new_value)
+
+    # -- entry point -----------------------------------------------------------------
+    def random_edit(self, max_attempts: int = 8) -> Optional[Edit]:
+        """Generate one random edit, retrying if a kind is not applicable."""
+        if self.candidate_edits and self.rng.random() < self.candidate_probability:
+            return self.rng.choice(self.candidate_edits)
+        generators = {
+            "delete": self.random_delete,
+            "copy": self.random_copy,
+            "move": self.random_move,
+            "replace": self.random_replace,
+            "swap": self.random_swap,
+            "operand": self.random_operand_replace,
+        }
+        kinds = [kind for kind in generators if self.weights.get(kind, 1.0) > 0]
+        weights = [self.weights.get(kind, 1.0) for kind in kinds]
+        for _ in range(max_attempts):
+            kind = self.rng.choices(kinds, weights=weights, k=1)[0]
+            edit = generators[kind]()
+            if edit is not None:
+                return edit
+        return None
+
+
+def mutate(individual: Individual, generator: EditGenerator,
+           config: GevoConfig, rng: random.Random) -> Individual:
+    """Return a mutated copy of *individual* (the original is untouched)."""
+    child = individual.copy()
+    roll = rng.random()
+    remove_threshold = config.mutation_add_probability
+    rewrite_threshold = remove_threshold + config.mutation_remove_probability
+    if roll < remove_threshold or not child.edits:
+        edit = generator.random_edit()
+        if edit is not None:
+            child.edits.append(edit)
+    elif roll < rewrite_threshold:
+        child.edits.pop(rng.randrange(len(child.edits)))
+    else:
+        edit = generator.random_edit()
+        if edit is not None:
+            child.edits[rng.randrange(len(child.edits))] = edit
+    if config.max_edits_per_individual and len(child.edits) > config.max_edits_per_individual:
+        del child.edits[: len(child.edits) - config.max_edits_per_individual]
+    return child
+
+
+def maybe_mutate(individual: Individual, generator: EditGenerator,
+                 config: GevoConfig, rng: random.Random) -> Individual:
+    """Apply mutation with the configured per-individual probability."""
+    if rng.random() < config.mutation_probability:
+        return mutate(individual, generator, config, rng)
+    return individual.copy()

@@ -1,0 +1,150 @@
+"""The GEVO generational search loop.
+
+One generation performs, in order: fitness evaluation of every new
+individual, elitism (the best individuals survive unchanged), tournament
+selection of parents, crossover with the configured probability, and
+per-individual mutation.  The loop matches the description in Sections
+II-A and III-E of the paper; runtime is the fitness, invalid variants
+(failed test cases or kernel traps) never reproduce preferentially.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import SearchError
+from .config import GevoConfig
+from .crossover import maybe_crossover
+from .fitness import FitnessResult, GenomeEvaluator, WorkloadAdapter
+from .genome import Individual, apply_edits, seed_population
+from .history import SearchHistory
+from .mutation import EditGenerator, maybe_mutate
+from .selection import best_individual, select_elites, select_parents
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one GEVO run."""
+
+    best: Optional[Individual]
+    history: SearchHistory
+    baseline: FitnessResult
+    config: GevoConfig
+    evaluations: int
+    wall_clock_seconds: float
+    #: Validation (held-out tests) of the final best individual, if requested.
+    validation: Optional[FitnessResult] = None
+
+    @property
+    def speedup(self) -> float:
+        """Speedup of the best discovered variant over the unmodified program."""
+        if self.best is None or not self.best.valid or not self.best.fitness:
+            return 1.0
+        return self.baseline.runtime_ms / self.best.fitness
+
+    def best_edits(self) -> List:
+        return list(self.best.edits) if self.best is not None else []
+
+
+class GevoSearch:
+    """Evolutionary search driver."""
+
+    def __init__(self, adapter: WorkloadAdapter, config: GevoConfig,
+                 *, progress: Optional[Callable[[int, SearchHistory], None]] = None,
+                 candidate_edits=None, candidate_probability: float = 0.0):
+        self.adapter = adapter
+        self.config = config
+        self.progress = progress
+        self.rng = random.Random(config.seed)
+        self.evaluator = GenomeEvaluator(adapter)
+        self.generator = EditGenerator(self.evaluator.original, self.rng,
+                                       weights=config.edit_weights,
+                                       candidate_edits=candidate_edits,
+                                       candidate_probability=candidate_probability)
+
+    # -- main loop -----------------------------------------------------------------------
+    def run(self, *, validate_best: bool = False) -> SearchResult:
+        """Run the configured number of generations and return the result."""
+        config = self.config
+        start = time.perf_counter()
+        baseline = self.adapter.baseline()
+        if not baseline.valid:
+            raise SearchError(
+                f"the unmodified program of workload {self.adapter.name!r} fails its own "
+                "test cases; fix the workload before searching")
+        history = SearchHistory(baseline_runtime=baseline.runtime_ms)
+
+        population = seed_population(config.population_size)
+        self.evaluator.evaluate_population(population)
+        best_so_far = best_individual(population)
+        stagnation = 0
+
+        for generation in range(1, config.generations + 1):
+            population = self._next_generation(population)
+            self.evaluator.evaluate_population(population)
+            generation_best = best_individual(population)
+            if generation_best is not None and (
+                    best_so_far is None
+                    or (generation_best.fitness or math.inf) < (best_so_far.fitness or math.inf)):
+                best_so_far = generation_best
+                stagnation = 0
+            else:
+                stagnation += 1
+            history.record_generation(generation, population, best_so_far,
+                                      self.evaluator.evaluations)
+            if self.progress is not None:
+                self.progress(generation, history)
+            if config.stagnation_limit and stagnation >= config.stagnation_limit:
+                break
+
+        validation = None
+        if validate_best and best_so_far is not None:
+            applied = apply_edits(self.evaluator.original, best_so_far.edits)
+            validation = self.adapter.validate(applied.module)
+
+        return SearchResult(
+            best=best_so_far,
+            history=history,
+            baseline=baseline,
+            config=config,
+            evaluations=self.evaluator.evaluations,
+            wall_clock_seconds=time.perf_counter() - start,
+            validation=validation,
+        )
+
+    # -- generation construction ------------------------------------------------------------
+    def _next_generation(self, population: List[Individual]) -> List[Individual]:
+        config = self.config
+        next_population: List[Individual] = select_elites(population, config.elitism)
+        needed = config.population_size - len(next_population)
+        parents = select_parents(population, needed + 1, config.tournament_size, self.rng)
+        children: List[Individual] = []
+        index = 0
+        while len(children) < needed:
+            parent_a = parents[index % len(parents)]
+            parent_b = parents[(index + 1) % len(parents)]
+            index += 2
+            child_one, child_two = maybe_crossover(parent_a, parent_b, config, self.rng)
+            children.append(child_one)
+            if len(children) < needed:
+                children.append(child_two)
+        mutated = [maybe_mutate(child, self.generator, config, self.rng) for child in children]
+        next_population.extend(mutated)
+        return next_population
+
+
+def run_repeated_searches(adapter: WorkloadAdapter, config: GevoConfig, runs: int,
+                          *, base_seed: int = 0, candidate_edits=None,
+                          candidate_probability: float = 0.0) -> List[SearchResult]:
+    """Run GEVO *runs* times with different seeds (Figure 6 methodology)."""
+    results = []
+    for run_index in range(runs):
+        run_config = config.with_(seed=base_seed + run_index)
+        search = GevoSearch(adapter, run_config, candidate_edits=candidate_edits,
+                            candidate_probability=candidate_probability)
+        results.append(search.run())
+    return results

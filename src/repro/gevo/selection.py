@@ -1,0 +1,76 @@
+"""Selection operators.
+
+GEVO's fitness is kernel runtime (lower is better); individuals that fail
+one or more test cases are invalid and never win a comparison against a
+valid individual.  Selection is tournament based, and the configured number
+of elite individuals is carried into the next generation unchanged
+(Section III-E: "retained the four best individuals").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from .genome import Individual
+
+
+def fitness_key(individual: Individual) -> float:
+    """Sort key: lower is better, invalid individuals rank last."""
+    if not individual.valid or individual.fitness is None:
+        return math.inf
+    return individual.fitness
+
+
+def is_better(candidate: Individual, incumbent: Optional[Individual]) -> bool:
+    """True when *candidate* strictly beats *incumbent*."""
+    if incumbent is None:
+        return True
+    return fitness_key(candidate) < fitness_key(incumbent)
+
+
+def best_individual(population: Sequence[Individual]) -> Optional[Individual]:
+    """The fittest valid individual, or ``None`` if every individual is invalid."""
+    best: Optional[Individual] = None
+    for individual in population:
+        if individual.valid and is_better(individual, best):
+            best = individual
+    return best
+
+
+def rank_population(population: Sequence[Individual]) -> List[Individual]:
+    """Population sorted best-first (invalid individuals at the end)."""
+    return sorted(population, key=fitness_key)
+
+
+def select_elites(population: Sequence[Individual], count: int) -> List[Individual]:
+    """The *count* best individuals (copied, so elites are never mutated in place)."""
+    if count <= 0:
+        return []
+    ranked = rank_population(population)
+    elites = []
+    for individual in ranked[:count]:
+        clone = individual.copy()
+        clone.fitness = individual.fitness
+        clone.valid = individual.valid
+        elites.append(clone)
+    return elites
+
+
+def tournament_select(population: Sequence[Individual], tournament_size: int,
+                      rng: random.Random) -> Individual:
+    """Pick the best of ``tournament_size`` uniformly sampled individuals."""
+    size = min(tournament_size, len(population))
+    contenders = rng.sample(list(population), size)
+    winner = contenders[0]
+    for contender in contenders[1:]:
+        if fitness_key(contender) < fitness_key(winner):
+            winner = contender
+    return winner
+
+
+def select_parents(population: Sequence[Individual], count: int,
+                   tournament_size: int, rng: random.Random) -> List[Individual]:
+    """Select *count* parents by repeated tournaments."""
+    return [tournament_select(population, tournament_size, rng) for _ in range(count)]

@@ -1,0 +1,47 @@
+"""Simulated GPU: architectures, SIMT execution, timing and profiling.
+
+This package substitutes for the physical NVIDIA GPUs used in the paper.
+The usual entry point is::
+
+    from repro.gpu import GpuDevice, get_arch
+
+    device = GpuDevice(get_arch("P100"))
+    result = device.launch(kernel, grid=8, block=64, args={"x": host_array, "n": 512})
+    print(result.time_ms)
+"""
+
+from .arch import ARCHITECTURES, EVALUATION_ORDER, GTX1080TI, P100, V100, GpuArch, architecture_table, get_arch
+from .memory import BufferHandle, GlobalMemory, SharedMemoryBlock, bank_conflicts, coalesced_transactions
+from .profiler import InstructionProfile, ProfileCollector
+from .simulator import LAUNCH_OVERHEAD_CYCLES, BlockResult, GpuDevice, LaunchResult
+from .timing import CostModel, MemoryAccessInfo, cycles_to_milliseconds
+from .warp import ThreadIdentity, WarpState, WarpStatus, build_thread_identity
+
+__all__ = [
+    "ARCHITECTURES",
+    "BlockResult",
+    "BufferHandle",
+    "CostModel",
+    "EVALUATION_ORDER",
+    "GTX1080TI",
+    "GlobalMemory",
+    "GpuArch",
+    "GpuDevice",
+    "InstructionProfile",
+    "LAUNCH_OVERHEAD_CYCLES",
+    "LaunchResult",
+    "MemoryAccessInfo",
+    "P100",
+    "ProfileCollector",
+    "SharedMemoryBlock",
+    "ThreadIdentity",
+    "V100",
+    "WarpState",
+    "WarpStatus",
+    "architecture_table",
+    "bank_conflicts",
+    "build_thread_identity",
+    "coalesced_transactions",
+    "cycles_to_milliseconds",
+    "get_arch",
+]

@@ -1,0 +1,148 @@
+"""GPU architecture descriptions (Table I of the paper).
+
+Each :class:`GpuArch` bundles the static characteristics of one device --
+SM count, clock, warp size, occupancy limit -- together with the latency
+parameters used by the cost model.  Three presets mirror the paper's
+evaluation hardware: the Pascal-class P100 and GTX 1080Ti, and the
+Volta-class V100.
+
+The single behavioural difference that matters for the paper's Section
+VI-B finding (removing ``ballot_sync`` helps only on Volta) is captured by
+``independent_thread_scheduling``: on Volta, warp-level query/sync
+primitives force a re-synchronisation of independently scheduled
+sub-warps, which the cost model charges for; on Pascal they are nearly
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class GpuArch:
+    """Static description of a simulated GPU."""
+
+    name: str
+    family: str
+    cuda_cores: int
+    sm_count: int
+    clock_mhz: float
+    memory_size_gb: float
+    memory_type: str
+    warp_size: int = 32
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 1024
+    shared_memory_per_block: int = 48 * 1024
+    #: Volta and later schedule sub-warps independently; warp-wide sync
+    #: primitives (ballot_sync / syncwarp) then carry a real cost.
+    independent_thread_scheduling: bool = False
+
+    # --- cost-model latencies, in cycles -------------------------------------
+    alu_latency: int = 4
+    special_latency: int = 16
+    global_latency: int = 70
+    global_store_latency: int = 40
+    global_per_transaction: int = 16
+    shared_latency: int = 24
+    shared_store_latency: int = 4
+    shared_conflict_penalty: int = 2
+    atomic_latency: int = 48
+    atomic_serialization: int = 8
+    shuffle_latency: int = 10
+    barrier_latency: int = 18
+    branch_latency: int = 6
+    warp_sync_latency: int = 4
+    rng_latency: int = 16
+
+    #: Per-opcode overrides applied on top of the category defaults.
+    cost_overrides: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def concurrent_blocks(self) -> int:
+        """How many thread blocks the whole device can run simultaneously."""
+        return self.sm_count * self.max_blocks_per_sm
+
+    def with_overrides(self, **changes) -> "GpuArch":
+        """Return a copy of the architecture with some fields replaced."""
+        return replace(self, **changes)
+
+    def table_row(self) -> Dict[str, object]:
+        """Row of Table I for this GPU."""
+        return {
+            "GPU": self.name,
+            "Architecture Family": self.family,
+            "CUDA cores": self.cuda_cores,
+            "Core Frequency": f"{self.clock_mhz:.0f} Mhz",
+            "Memory Size": f"{self.memory_size_gb:.0f}GB {self.memory_type}",
+        }
+
+
+P100 = GpuArch(
+    name="P100",
+    family="Pascal",
+    cuda_cores=3584,
+    sm_count=56,
+    clock_mhz=1386.0,
+    memory_size_gb=16,
+    memory_type="HBM",
+    global_latency=75,
+    shared_latency=24,
+    shuffle_latency=10,
+    independent_thread_scheduling=False,
+)
+
+GTX1080TI = GpuArch(
+    name="1080Ti",
+    family="Pascal",
+    cuda_cores=3584,
+    sm_count=28,
+    clock_mhz=1999.0,
+    memory_size_gb=11,
+    memory_type="GDDR5X",
+    global_latency=85,
+    shared_latency=26,
+    shuffle_latency=10,
+    independent_thread_scheduling=False,
+)
+
+V100 = GpuArch(
+    name="V100",
+    family="Volta",
+    cuda_cores=5120,
+    sm_count=80,
+    clock_mhz=1530.0,
+    memory_size_gb=16,
+    memory_type="HBM2",
+    global_latency=65,
+    shared_latency=20,
+    shuffle_latency=8,
+    barrier_latency=16,
+    independent_thread_scheduling=True,
+    # Sub-warp resynchronisation cost charged for ballot_sync / syncwarp.
+    warp_sync_latency=12,
+)
+
+#: All architectures evaluated in the paper, keyed by name.
+ARCHITECTURES: Dict[str, GpuArch] = {
+    arch.name: arch for arch in (P100, GTX1080TI, V100)
+}
+
+#: Evaluation order used throughout the paper's figures.
+EVALUATION_ORDER: Tuple[str, ...] = ("P100", "1080Ti", "V100")
+
+
+def get_arch(name: str) -> GpuArch:
+    """Look up an architecture preset by name (case insensitive)."""
+    for key, arch in ARCHITECTURES.items():
+        if key.lower() == name.lower():
+            return arch
+    raise KeyError(
+        f"unknown GPU architecture {name!r}; available: {sorted(ARCHITECTURES)}"
+    )
+
+
+def architecture_table() -> Tuple[Dict[str, object], ...]:
+    """Return Table I as a tuple of row dictionaries."""
+    return tuple(ARCHITECTURES[name].table_row() for name in EVALUATION_ORDER)

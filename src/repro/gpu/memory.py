@@ -1,0 +1,280 @@
+"""Memory spaces of the simulated GPU.
+
+Three spaces exist, mirroring the CUDA model described in Section II-B of
+the paper:
+
+* **global** memory -- kernel parameters of kind ``buffer``; shared by all
+  blocks, backed by the numpy arrays the host passes to ``launch`` and
+  mutated in place (like ``cudaMemcpy``-managed device buffers).
+* **shared** memory -- per-block arrays declared by the kernel, visible to
+  every thread in the block, *not* zero-initialised (so a kernel that reads
+  before writing gets the poison fill value; see the ADEPT-V0 analysis in
+  Section VI-C).
+* **registers** -- per-thread virtual registers, handled by the warp state
+  in :mod:`repro.gpu.warp`.
+
+A :class:`BufferHandle` is the runtime value bound to a buffer parameter or
+shared-array name; loads and stores resolve their base operand to such a
+handle.  Out-of-bounds accesses raise :class:`KernelTrap`, the simulator's
+analogue of the segmentation fault the paper observes when SIMCoV's
+boundary check is removed on a large grid (Section VI-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..errors import KernelTrap, LaunchError
+from ..ir.function import Function
+
+#: Poison value used to fill uninitialised shared memory.  Chosen to be
+#: loud: any computation that consumes it will produce visibly wrong
+#: output and fail validation, rather than silently succeeding the way a
+#: zero fill would.
+SHARED_POISON = float("nan")
+
+GLOBAL_SPACE = "global"
+SHARED_SPACE = "shared"
+
+
+class BufferHandle:
+    """Runtime handle for a global or shared memory array."""
+
+    __slots__ = ("name", "space", "array")
+
+    def __init__(self, name: str, space: str, array: np.ndarray):
+        if space not in (GLOBAL_SPACE, SHARED_SPACE):
+            raise LaunchError(f"unknown memory space {space!r}")
+        if array.ndim != 1:
+            raise LaunchError(
+                f"buffer {name!r} must be one-dimensional (flatten host arrays before launch)"
+            )
+        self.name = name
+        self.space = space
+        self.array = array
+
+    @property
+    def size(self) -> int:
+        return int(self.array.shape[0])
+
+    def check_bounds(self, indices: np.ndarray, instruction=None) -> np.ndarray:
+        """Validate *indices* and return them as ``int64``.
+
+        Raises :class:`KernelTrap` on any out-of-bounds or non-finite index,
+        which the GEVO fitness harness interprets as a failed test case.
+        """
+        idx = np.asarray(indices)
+        if idx.dtype.kind == "f":
+            if not np.all(np.isfinite(idx)):
+                raise KernelTrap(
+                    f"non-finite index into {self.space} buffer {self.name!r}",
+                    instruction=instruction,
+                )
+            idx = idx.astype(np.int64)
+        else:
+            idx = idx.astype(np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size):
+            bad = int(idx.min()) if idx.min() < 0 else int(idx.max())
+            raise KernelTrap(
+                f"out-of-bounds access to {self.space} buffer {self.name!r} "
+                f"(index {bad}, size {self.size})",
+                instruction=instruction,
+            )
+        return idx
+
+    def __repr__(self) -> str:
+        return f"<BufferHandle {self.space}:{self.name}[{self.size}]>"
+
+
+class ArenaBufferHandle(BufferHandle):
+    """A buffer living inside a unified global-memory arena.
+
+    Real GPUs place every ``cudaMalloc`` allocation in one address space, so
+    a slightly out-of-bounds access usually reads a neighbouring allocation
+    instead of faulting; only accesses that leave mapped memory fault.  This
+    handle reproduces that: indices outside the logical buffer but inside
+    the arena resolve to whatever lives there, indices outside the arena
+    trap.  Section VI-D of the paper (SIMCoV's boundary-check removal
+    passing small-grid tests but segfaulting on large grids) depends on
+    exactly this behaviour.
+    """
+
+    __slots__ = ("offset", "logical_size", "arena")
+
+    def __init__(self, name: str, arena: np.ndarray, offset: int, logical_size: int):
+        super().__init__(name, GLOBAL_SPACE, arena)
+        self.arena = arena
+        self.offset = int(offset)
+        self.logical_size = int(logical_size)
+
+    @property
+    def size(self) -> int:
+        return self.logical_size
+
+    def logical_view(self) -> np.ndarray:
+        """The slice of the arena corresponding to the logical buffer."""
+        return self.arena[self.offset:self.offset + self.logical_size]
+
+    def check_bounds(self, indices: np.ndarray, instruction=None) -> np.ndarray:
+        idx = np.asarray(indices)
+        if idx.dtype.kind == "f":
+            if not np.all(np.isfinite(idx)):
+                raise KernelTrap(
+                    f"non-finite index into global buffer {self.name!r}",
+                    instruction=instruction)
+        idx = idx.astype(np.int64) + self.offset
+        if idx.size and (idx.min() < 0 or idx.max() >= self.arena.shape[0]):
+            raise KernelTrap(
+                f"illegal memory access: buffer {self.name!r} index "
+                f"{int(idx.min() - self.offset)}..{int(idx.max() - self.offset)} leaves the "
+                f"mapped device arena (logical size {self.logical_size})",
+                instruction=instruction)
+        return idx
+
+
+class GlobalMemory:
+    """The device's global memory: named buffers bound to host numpy arrays.
+
+    Two modes exist:
+
+    * the default mode gives every buffer its own allocation with strict
+      bounds checking (any out-of-bounds access traps);
+    * ``unified_arena=True`` packs all buffers into one float64 arena with
+      guard regions, reproducing the CUDA single-address-space behaviour
+      that the SIMCoV boundary-check study relies on.  Host arrays are
+      copied in at bind time and copied back by :meth:`sync_back`.
+    """
+
+    def __init__(self, unified_arena: bool = False, guard_elements: int = 24):
+        self._buffers: Dict[str, BufferHandle] = {}
+        self.unified_arena = unified_arena
+        self.guard_elements = int(guard_elements)
+        self._arena: np.ndarray = np.zeros(0, dtype=np.float64)
+        self._host_arrays: Dict[str, np.ndarray] = {}
+
+    def bind(self, name: str, array: np.ndarray) -> BufferHandle:
+        """Bind a host array as a global buffer (device-resident, in place)."""
+        if not isinstance(array, np.ndarray):
+            raise LaunchError(
+                f"buffer argument {name!r} must be a numpy array, got {type(array)!r}"
+            )
+        arr = array if array.ndim == 1 else array.reshape(-1)
+        if self.unified_arena:
+            handle = self._bind_in_arena(name, arr)
+        else:
+            handle = BufferHandle(name, GLOBAL_SPACE, arr)
+        self._buffers[name] = handle
+        return handle
+
+    def _bind_in_arena(self, name: str, array: np.ndarray) -> ArenaBufferHandle:
+        offset = self._arena.shape[0] + self.guard_elements
+        new_size = offset + array.shape[0]
+        grown = np.zeros(new_size, dtype=np.float64)
+        grown[: self._arena.shape[0]] = self._arena
+        grown[offset:offset + array.shape[0]] = array.astype(np.float64)
+        self._arena = grown
+        self._host_arrays[name] = array
+        # Rebuild existing handles against the grown arena so every handle
+        # shares the same backing storage.
+        for existing_name, existing in list(self._buffers.items()):
+            if isinstance(existing, ArenaBufferHandle):
+                rebuilt = ArenaBufferHandle(existing_name, self._arena,
+                                            existing.offset, existing.logical_size)
+                self._buffers[existing_name] = rebuilt
+        return ArenaBufferHandle(name, self._arena, offset, array.shape[0])
+
+    def finalize_arena(self) -> None:
+        """Append the tail guard region once every buffer is bound."""
+        if not self.unified_arena:
+            return
+        grown = np.zeros(self._arena.shape[0] + self.guard_elements, dtype=np.float64)
+        grown[: self._arena.shape[0]] = self._arena
+        self._arena = grown
+        for name, handle in list(self._buffers.items()):
+            if isinstance(handle, ArenaBufferHandle):
+                self._buffers[name] = ArenaBufferHandle(name, self._arena,
+                                                        handle.offset, handle.logical_size)
+
+    def sync_back(self) -> None:
+        """Copy arena contents back into the host arrays (arena mode only)."""
+        if not self.unified_arena:
+            return
+        for name, host in self._host_arrays.items():
+            handle = self._buffers[name]
+            if isinstance(handle, ArenaBufferHandle):
+                host[...] = handle.logical_view().astype(host.dtype)
+
+    def get(self, name: str) -> BufferHandle:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise LaunchError(f"no global buffer bound for parameter {name!r}") from None
+
+    def names(self) -> Iterable[str]:
+        return self._buffers.keys()
+
+    def total_bytes(self) -> int:
+        if self.unified_arena:
+            return int(self._arena.nbytes)
+        return sum(h.array.nbytes for h in self._buffers.values())
+
+
+class SharedMemoryBlock:
+    """The shared memory of one thread block.
+
+    One array is allocated per ``shared`` declaration of the kernel.  The
+    fill value is poison (NaN) by default; a simulator option allows a zero
+    fill to mimic debugging environments, but the default matches hardware
+    semantics where shared memory contents are undefined at kernel start.
+    """
+
+    def __init__(self, function: Function, zero_fill: bool = False):
+        self._arrays: Dict[str, BufferHandle] = {}
+        self.bytes_allocated = 0
+        for decl in function.shared:
+            if decl.dtype == "int":
+                fill = 0 if zero_fill else np.iinfo(np.int64).min // 2
+                array = np.full(decl.size, fill, dtype=np.int64)
+            else:
+                fill = 0.0 if zero_fill else SHARED_POISON
+                array = np.full(decl.size, fill, dtype=np.float64)
+            self._arrays[decl.name] = BufferHandle(decl.name, SHARED_SPACE, array)
+            self.bytes_allocated += array.nbytes
+
+    def get(self, name: str) -> BufferHandle:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KernelTrap(f"kernel references undeclared shared array {name!r}") from None
+
+    def handles(self) -> Dict[str, BufferHandle]:
+        return dict(self._arrays)
+
+
+def coalesced_transactions(indices: np.ndarray, segment_size: int = 32) -> int:
+    """Number of memory transactions a warp access generates.
+
+    Global memory accesses are serviced in segments; a fully coalesced
+    access by 32 lanes touches one segment, a strided or scattered access
+    touches up to 32.  The cost model charges per transaction, which is how
+    the simulator reproduces the benefit of coalesced access patterns.
+    """
+    if indices.size == 0:
+        return 0
+    segments = np.unique(np.asarray(indices, dtype=np.int64) // segment_size)
+    return int(segments.size)
+
+
+def bank_conflicts(indices: np.ndarray, num_banks: int = 32) -> int:
+    """Worst-case shared-memory bank conflict degree for a warp access.
+
+    Returns the maximum number of lanes that hit the same bank (1 means
+    conflict free); the cost model charges the excess serialisation.
+    """
+    if indices.size == 0:
+        return 1
+    banks = np.asarray(indices, dtype=np.int64) % num_banks
+    _, counts = np.unique(banks, return_counts=True)
+    return int(counts.max())

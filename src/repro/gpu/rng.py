@@ -1,0 +1,37 @@
+"""Counter-based deterministic RNG shared by the GPU intrinsic and host code.
+
+SIMCoV's behaviour is stochastic (T-cell extravasation and movement).  The
+paper controls this by fixing the random seed so that runs are comparable
+(Section III-C).  Our GPU kernels use the ``rand.uniform`` intrinsic, which
+hashes ``(seed, step, salt)`` with a splitmix64-style mixer; the CPU
+reference model calls the same function, so -- absent true race conditions
+-- the reference and the simulated GPU produce identical random draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RNG_MULT1 = np.uint64(0xBF58476D1CE4E5B9)
+_RNG_MULT2 = np.uint64(0x94D049BB133111EB)
+_RNG_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+
+def counter_uniform(seed, step, salt) -> np.ndarray:
+    """Deterministic uniform numbers in [0, 1) from integer counters.
+
+    All three arguments broadcast; the result has the broadcast shape and
+    dtype float64.  The same (seed, step, salt) triple always produces the
+    same value, on any platform.
+    """
+    seed = np.asarray(seed, dtype=np.int64).astype(np.uint64)
+    step = np.asarray(step, dtype=np.int64).astype(np.uint64)
+    salt = np.asarray(salt, dtype=np.int64).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        x = seed * _RNG_GAMMA + step * _RNG_MULT1 + salt * _RNG_MULT2
+        x ^= x >> np.uint64(30)
+        x *= _RNG_MULT1
+        x ^= x >> np.uint64(27)
+        x *= _RNG_MULT2
+        x ^= x >> np.uint64(31)
+    return (x >> np.uint64(11)).astype(np.float64) / float(1 << 53)

@@ -1,0 +1,153 @@
+"""Cycle cost model of the simulated GPU.
+
+The model is deliberately simple -- a per-instruction issue cost plus
+memory/synchronisation surcharges -- but it captures every mechanism the
+paper's discovered optimizations exploit:
+
+* **branch divergence**: the SIMT executor runs both sides of a divergent
+  branch serially, so the *structure* of execution (not this module)
+  accounts for the dominant cost; this module merely prices each executed
+  instruction once per warp.
+* **memory-space latency**: global >> shared >> registers/shuffles, with
+  coalescing and bank-conflict surcharges (Section VI-A's shared-vs-register
+  trade-off, Section VI-C's redundant memset traffic).
+* **barriers**: ``__syncthreads`` costs issue latency here plus the warp
+  round-up applied by the block scheduler (the V0 init loop pathology).
+* **Volta sub-warp synchronisation**: ``ballot_sync``/``syncwarp`` are
+  cheap on Pascal and expensive when
+  ``arch.independent_thread_scheduling`` is set (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir.instructions import Instruction
+from .arch import GpuArch
+from .memory import GLOBAL_SPACE, SHARED_SPACE, BufferHandle, bank_conflicts, coalesced_transactions
+
+import numpy as np
+
+
+@dataclass
+class MemoryAccessInfo:
+    """Runtime facts about one memory instruction needed to price it."""
+
+    handle: BufferHandle
+    indices: np.ndarray
+
+
+@dataclass
+class CostModel:
+    """Maps executed instructions to cycle costs for a given architecture."""
+
+    arch: GpuArch
+    #: Cumulative counters useful for reports (filled in as costs are charged).
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def _bump(self, key: str, amount: float) -> None:
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    def instruction_cost(
+        self,
+        instruction: Instruction,
+        active_lanes: int,
+        memory: Optional[MemoryAccessInfo] = None,
+    ) -> float:
+        """Cycles charged to the issuing warp for one executed instruction."""
+        arch = self.arch
+        opcode = instruction.opcode
+        if opcode in arch.cost_overrides:
+            cost = float(arch.cost_overrides[opcode])
+            self._bump("override_cycles", cost)
+            return cost
+
+        category = instruction.info.category
+        if category in ("arith", "cmp", "intrinsic", "misc"):
+            cost = float(arch.alu_latency)
+            if opcode in ("div", "rem"):
+                cost = float(arch.special_latency)
+            elif opcode == "rand.uniform":
+                cost = float(arch.rng_latency)
+            self._bump("alu_cycles", cost)
+            return cost
+
+        if category == "control":
+            cost = float(arch.branch_latency)
+            self._bump("branch_cycles", cost)
+            return cost
+
+        if category in ("memory", "atomic"):
+            return self._memory_cost(instruction, active_lanes, memory)
+
+        if category == "sync":
+            return self._sync_cost(instruction)
+
+        # Unknown categories should not exist (the opcode registry is closed),
+        # but default to an ALU issue so a future opcode cannot be free.
+        return float(arch.alu_latency)
+
+    # -- helpers -----------------------------------------------------------------
+    def _memory_cost(
+        self,
+        instruction: Instruction,
+        active_lanes: int,
+        memory: Optional[MemoryAccessInfo],
+    ) -> float:
+        arch = self.arch
+        is_atomic = instruction.info.category == "atomic"
+        is_store = instruction.opcode in ("store", "memset")
+        if memory is None:
+            # A memory instruction that trapped before the access resolved.
+            return float(arch.alu_latency)
+        space = memory.handle.space
+        if space == GLOBAL_SPACE:
+            transactions = coalesced_transactions(memory.indices)
+            base = arch.global_store_latency if is_store else arch.global_latency
+            cost = base + arch.global_per_transaction * max(0, transactions - 1)
+            if is_atomic:
+                cost += (arch.atomic_latency
+                         + arch.atomic_serialization * max(0, active_lanes - 1))
+            self._bump("global_cycles", cost)
+            self._bump("global_transactions", transactions)
+            return float(cost)
+        if space == SHARED_SPACE:
+            conflict = bank_conflicts(memory.indices)
+            base = arch.shared_store_latency if is_store else arch.shared_latency
+            cost = base + arch.shared_conflict_penalty * max(0, conflict - 1)
+            if is_atomic:
+                cost += (arch.atomic_latency // 2
+                         + (arch.atomic_serialization // 2) * max(0, active_lanes - 1))
+            self._bump("shared_cycles", cost)
+            return float(cost)
+        return float(arch.alu_latency)
+
+    def _sync_cost(self, instruction: Instruction) -> float:
+        arch = self.arch
+        opcode = instruction.opcode
+        if opcode == "syncthreads":
+            cost = float(arch.barrier_latency)
+            self._bump("barrier_cycles", cost)
+            return cost
+        if opcode in ("ballot.sync", "syncwarp"):
+            # The Volta-specific warp re-synchronisation cost (Section VI-B):
+            # near-free on Pascal, tens of cycles on Volta.
+            cost = float(arch.warp_sync_latency if arch.independent_thread_scheduling
+                         else arch.alu_latency)
+            self._bump("warp_sync_cycles", cost)
+            return cost
+        if opcode == "activemask":
+            cost = float(arch.alu_latency)
+            self._bump("warp_sync_cycles", cost)
+            return cost
+        if opcode.startswith("shfl."):
+            cost = float(arch.shuffle_latency)
+            self._bump("shuffle_cycles", cost)
+            return cost
+        return float(arch.alu_latency)
+
+
+def cycles_to_milliseconds(cycles: float, arch: GpuArch) -> float:
+    """Convert a cycle count into milliseconds at the architecture's clock."""
+    return cycles / (arch.clock_mhz * 1000.0)

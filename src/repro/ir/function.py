@@ -1,0 +1,251 @@
+"""Containers of the mini-IR: basic blocks, functions (kernels), modules.
+
+A :class:`Module` holds one or more :class:`Function` objects (GPU kernels).
+Each function has an ordered collection of :class:`BasicBlock` objects, a
+parameter list, and shared-memory array declarations.  The containers offer
+the lookup and cloning operations GEVO needs: finding an instruction by
+uid, inserting/removing instructions, and deep-copying a module so that an
+edit list can be applied without disturbing the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import IRError
+from .instructions import Instruction
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel parameter.
+
+    ``kind`` is ``"buffer"`` for pointers to global-memory arrays and
+    ``"scalar"`` for plain numeric arguments.
+    """
+
+    name: str
+    kind: str = "buffer"
+
+    def __post_init__(self):
+        if self.kind not in ("buffer", "scalar"):
+            raise ValueError(f"parameter kind must be 'buffer' or 'scalar', got {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class SharedDecl:
+    """A per-block shared-memory array declaration."""
+
+    name: str
+    size: int
+    dtype: str = "float"
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError("shared array size must be positive")
+        if self.dtype not in ("float", "int"):
+            raise ValueError(f"shared array dtype must be 'float' or 'int', got {self.dtype!r}")
+
+
+class BasicBlock:
+    """A labelled sequence of instructions ending in a terminator."""
+
+    def __init__(self, label: str, instructions: Optional[List[Instruction]] = None):
+        if not label:
+            raise IRError("basic block label must be non-empty")
+        self.label = label
+        self.instructions: List[Instruction] = list(instructions or [])
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The final instruction if it is a terminator, else ``None``."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> Tuple[str, ...]:
+        """Labels of successor blocks according to the terminator."""
+        term = self.terminator
+        return term.branch_targets() if term is not None else ()
+
+    def append(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        return instruction
+
+    def insert(self, index: int, instruction: Instruction) -> Instruction:
+        self.instructions.insert(index, instruction)
+        return instruction
+
+    def remove(self, instruction: Instruction) -> None:
+        self.instructions.remove(instruction)
+
+    def index_of_uid(self, uid: int) -> Optional[int]:
+        for i, inst in enumerate(self.instructions):
+            if inst.uid == uid:
+                return i
+        return None
+
+    def clone(self) -> "BasicBlock":
+        return BasicBlock(self.label, [inst.clone() for inst in self.instructions])
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} ({len(self.instructions)} instructions)>"
+
+
+class Function:
+    """A GPU kernel: parameters, shared-memory declarations and basic blocks."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Optional[List[Param]] = None,
+        shared: Optional[List[SharedDecl]] = None,
+    ):
+        if not name:
+            raise IRError("function name must be non-empty")
+        self.name = name
+        self.params: List[Param] = list(params or [])
+        self.shared: List[SharedDecl] = list(shared or [])
+        self.blocks: Dict[str, BasicBlock] = {}
+        self._block_order: List[str] = []
+        seen = set()
+        for p in self.params:
+            if p.name in seen:
+                raise IRError(f"duplicate parameter name {p.name!r} in function {name!r}")
+            seen.add(p.name)
+        for s in self.shared:
+            if s.name in seen:
+                raise IRError(f"shared array {s.name!r} collides with another name in {name!r}")
+            seen.add(s.name)
+
+    # -- block management --------------------------------------------------------
+    @property
+    def entry_label(self) -> str:
+        if not self._block_order:
+            raise IRError(f"function {self.name!r} has no blocks")
+        return self._block_order[0]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.entry_label]
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self.blocks:
+            raise IRError(f"duplicate block label {block.label!r} in function {self.name!r}")
+        self.blocks[block.label] = block
+        self._block_order.append(block.label)
+        return block
+
+    def block_order(self) -> Tuple[str, ...]:
+        return tuple(self._block_order)
+
+    def get_block(self, label: str) -> BasicBlock:
+        try:
+            return self.blocks[label]
+        except KeyError:
+            raise IRError(f"no block labelled {label!r} in function {self.name!r}") from None
+
+    # -- instruction queries -------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate all instructions in block order."""
+        for label in self._block_order:
+            yield from self.blocks[label].instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks.values())
+
+    def find_instruction(self, uid: int) -> Optional[Tuple[BasicBlock, int]]:
+        """Locate an instruction by uid.
+
+        Returns ``(block, index)`` or ``None`` if the uid is not present
+        (for example because a prior edit deleted it).
+        """
+        for label in self._block_order:
+            block = self.blocks[label]
+            idx = block.index_of_uid(uid)
+            if idx is not None:
+                return block, idx
+        return None
+
+    def defined_registers(self) -> Tuple[str, ...]:
+        """All register names written anywhere in the function, plus params and shared handles."""
+        names = [p.name for p in self.params] + [s.name for s in self.shared]
+        for inst in self.instructions():
+            if inst.dest is not None and inst.dest not in names:
+                names.append(inst.dest)
+        return tuple(names)
+
+    def shared_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.shared)
+
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    # -- copying -----------------------------------------------------------------
+    def clone(self) -> "Function":
+        new = Function(self.name, params=list(self.params), shared=list(self.shared))
+        for label in self._block_order:
+            new.add_block(self.blocks[label].clone())
+        return new
+
+    def __repr__(self) -> str:
+        return (f"<Function {self.name} params={len(self.params)} "
+                f"blocks={len(self.blocks)} instrs={self.instruction_count()}>")
+
+
+class Module:
+    """A collection of kernels forming one compilation unit."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self._function_order: List[str] = []
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise IRError(f"duplicate function {function.name!r} in module {self.name!r}")
+        self.functions[function.name] = function
+        self._function_order.append(function.name)
+        return function
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"module {self.name!r} has no function {name!r}") from None
+
+    def function_order(self) -> Tuple[str, ...]:
+        return tuple(self._function_order)
+
+    def instructions(self) -> Iterator[Instruction]:
+        for name in self._function_order:
+            yield from self.functions[name].instructions()
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def find_instruction(self, uid: int) -> Optional[Tuple[Function, BasicBlock, int]]:
+        """Locate an instruction by uid across all functions."""
+        for name in self._function_order:
+            func = self.functions[name]
+            found = func.find_instruction(uid)
+            if found is not None:
+                block, idx = found
+                return func, block, idx
+        return None
+
+    def clone(self) -> "Module":
+        new = Module(self.name)
+        for name in self._function_order:
+            new.add_function(self.functions[name].clone())
+        return new
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name} functions={list(self._function_order)}>"

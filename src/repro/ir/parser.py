@@ -1,0 +1,198 @@
+"""Parser for the textual mini-IR form produced by :mod:`repro.ir.printer`.
+
+The grammar is intentionally small and line oriented:
+
+* ``module "<name>"``
+* ``func <name>(<param>: <kind>, ...) {`` ... ``}``
+* ``shared <name>[<size>]: <dtype>``
+* ``<label>:``
+* instructions: ``[%dest =] <opcode> [operands] [!loc file:line]``
+
+Operands are ``%reg``, integer/float literals, or ``true``/``false``.
+Branches name their targets directly: ``br done`` and
+``condbr %p, then, else``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import IRParseError
+from .function import BasicBlock, Function, Module, Param, SharedDecl
+from .instructions import Instruction, SourceLoc
+from .opcodes import is_known_opcode
+from .values import Const, Reg, Value
+
+_MODULE_RE = re.compile(r'^module\s+"(?P<name>[^"]+)"$')
+_FUNC_RE = re.compile(r"^func\s+(?P<name>[A-Za-z_][\w.]*)\s*\((?P<params>.*)\)\s*\{$")
+_SHARED_RE = re.compile(
+    r"^shared\s+(?P<name>[A-Za-z_][\w.]*)\[(?P<size>\d+)\]\s*:\s*(?P<dtype>float|int)$"
+)
+_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_][\w.]*):$")
+_LOC_RE = re.compile(r"\s*!loc\s+(?P<file>\S+):(?P<line>\d+)\s*$")
+_NUMBER_RE = re.compile(r"^[+-]?(\d+\.\d*([eE][+-]?\d+)?|\.?\d+([eE][+-]?\d+)?|\d+)$")
+
+
+def _parse_operand(token: str) -> Value:
+    token = token.strip()
+    if not token:
+        raise IRParseError("empty operand")
+    if token.startswith("%"):
+        return Reg(token[1:])
+    if token == "true":
+        return Const(True)
+    if token == "false":
+        return Const(False)
+    if _NUMBER_RE.match(token):
+        if any(ch in token for ch in ".eE") and not token.lstrip("+-").isdigit():
+            return Const(float(token))
+        return Const(int(token))
+    raise IRParseError(f"cannot parse operand {token!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [tok.strip() for tok in text.split(",")]
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse a single instruction line (without indentation)."""
+    original = line
+    loc: Optional[SourceLoc] = None
+    loc_match = _LOC_RE.search(line)
+    if loc_match:
+        loc = SourceLoc(loc_match.group("file"), int(loc_match.group("line")))
+        line = line[: loc_match.start()].rstrip()
+
+    dest: Optional[str] = None
+    if line.startswith("%"):
+        if "=" not in line:
+            raise IRParseError(f"expected '=' in {original!r}")
+        dest_text, line = line.split("=", 1)
+        dest = dest_text.strip()[1:]
+        line = line.strip()
+
+    parts = line.split(None, 1)
+    if not parts:
+        raise IRParseError(f"empty instruction in {original!r}")
+    opcode = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    if not is_known_opcode(opcode):
+        raise IRParseError(f"unknown opcode {opcode!r} in {original!r}")
+
+    attrs = {}
+    if opcode == "br":
+        target = rest.strip()
+        if not target:
+            raise IRParseError(f"br requires a target in {original!r}")
+        attrs["target"] = target
+        operands: List[Value] = []
+    elif opcode == "condbr":
+        tokens = _split_operands(rest)
+        if len(tokens) != 3:
+            raise IRParseError(f"condbr requires 'cond, true, false' in {original!r}")
+        operands = [_parse_operand(tokens[0])]
+        attrs["true_target"] = tokens[1]
+        attrs["false_target"] = tokens[2]
+    else:
+        operands = [_parse_operand(tok) for tok in _split_operands(rest)]
+
+    try:
+        return Instruction(opcode, dest=dest, operands=operands, attrs=attrs, loc=loc)
+    except ValueError as exc:
+        raise IRParseError(f"{exc} (while parsing {original!r})") from exc
+
+
+def _parse_params(text: str) -> List[Param]:
+    text = text.strip()
+    if not text:
+        return []
+    params = []
+    for chunk in text.split(","):
+        if ":" not in chunk:
+            raise IRParseError(f"parameter {chunk!r} must be '<name>: <kind>'")
+        name, kind = (part.strip() for part in chunk.split(":", 1))
+        params.append(Param(name, kind))
+    return params
+
+
+def parse_module(text: str) -> Module:
+    """Parse a complete module from its textual form."""
+    lines = [ln.rstrip() for ln in text.splitlines()]
+    module: Optional[Module] = None
+    func: Optional[Function] = None
+    block: Optional[BasicBlock] = None
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith(";"):
+            continue
+
+        module_match = _MODULE_RE.match(line)
+        if module_match:
+            if module is not None:
+                raise IRParseError(f"line {lineno}: duplicate module declaration")
+            module = Module(module_match.group("name"))
+            continue
+
+        if module is None:
+            raise IRParseError(f"line {lineno}: expected module declaration first")
+
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            if func is not None:
+                raise IRParseError(f"line {lineno}: nested function definition")
+            func = Function(func_match.group("name"),
+                            params=_parse_params(func_match.group("params")))
+            block = None
+            continue
+
+        if line == "}":
+            if func is None:
+                raise IRParseError(f"line {lineno}: unexpected '}}'")
+            module.add_function(func)
+            func = None
+            block = None
+            continue
+
+        if func is None:
+            raise IRParseError(f"line {lineno}: statement outside function: {line!r}")
+
+        shared_match = _SHARED_RE.match(line)
+        if shared_match:
+            func.shared.append(SharedDecl(shared_match.group("name"),
+                                          int(shared_match.group("size")),
+                                          shared_match.group("dtype")))
+            continue
+
+        label_match = _LABEL_RE.match(line)
+        if label_match and not is_known_opcode(label_match.group("label")):
+            block = func.add_block(BasicBlock(label_match.group("label")))
+            continue
+
+        if block is None:
+            raise IRParseError(f"line {lineno}: instruction before any block label: {line!r}")
+        try:
+            block.append(parse_instruction(line))
+        except IRParseError as exc:
+            raise IRParseError(f"line {lineno}: {exc}") from exc
+
+    if func is not None:
+        raise IRParseError("unterminated function definition (missing '}')")
+    if module is None:
+        raise IRParseError("no module declaration found")
+    return module
+
+
+def parse_function(text: str, module_name: str = "parsed") -> Tuple[Module, Function]:
+    """Parse text containing a single function, wrapping it in a module."""
+    if not text.lstrip().startswith("module"):
+        text = f'module "{module_name}"\n' + text
+    module = parse_module(text)
+    names = module.function_order()
+    if len(names) != 1:
+        raise IRParseError(f"expected exactly one function, found {len(names)}")
+    return module, module.functions[names[0]]

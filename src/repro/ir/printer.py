@@ -1,0 +1,84 @@
+"""Textual rendering of mini-IR modules.
+
+The format is line oriented and round-trips through
+:mod:`repro.ir.parser`.  Example::
+
+    module "demo"
+
+    func axpy(x: buffer, y: buffer, n: scalar) {
+      shared tile[32]: float
+      entry:
+        %tid = tid.x !loc axpy.cu:3
+        %inb = cmp.lt %tid, %n
+        condbr %inb, body, done
+      body:
+        %v = load %x, %tid
+        %w = mul %v, 2
+        store %y, %tid, %w
+        br done
+      done:
+        ret
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function, Module
+from .instructions import Instruction
+from .values import Const, Reg
+
+
+def format_operand(op) -> str:
+    """Render one operand in the textual syntax."""
+    if isinstance(op, Reg):
+        return f"%{op.name}"
+    if isinstance(op, Const):
+        if isinstance(op.value, bool):
+            return "true" if op.value else "false"
+        return repr(op.value)
+    raise TypeError(f"not an operand: {op!r}")
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction (without indentation)."""
+    pieces: List[str] = []
+    if inst.dest is not None:
+        pieces.append(f"%{inst.dest} = {inst.opcode}")
+    else:
+        pieces.append(inst.opcode)
+    operand_text = ", ".join(format_operand(op) for op in inst.operands)
+    if inst.opcode == "br":
+        operand_text = inst.attrs["target"]
+    elif inst.opcode == "condbr":
+        operand_text = f"{operand_text}, {inst.attrs['true_target']}, {inst.attrs['false_target']}"
+    if operand_text:
+        pieces.append(operand_text)
+    text = " ".join(pieces)
+    if inst.loc is not None:
+        text += f" !loc {inst.loc.file}:{inst.loc.line}"
+    return text
+
+
+def format_function(func: Function) -> str:
+    """Render one function."""
+    params = ", ".join(f"{p.name}: {p.kind}" for p in func.params)
+    lines = [f"func {func.name}({params}) {{"]
+    for decl in func.shared:
+        lines.append(f"  shared {decl.name}[{decl.size}]: {decl.dtype}")
+    for label in func.block_order():
+        lines.append(f"  {label}:")
+        for inst in func.blocks[label]:
+            lines.append(f"    {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module."""
+    parts = [f'module "{module.name}"', ""]
+    for name in module.function_order():
+        parts.append(format_function(module.functions[name]))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

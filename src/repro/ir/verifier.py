@@ -1,0 +1,110 @@
+"""Structural verification of mini-IR modules.
+
+The verifier distinguishes two severities:
+
+* *structural errors* -- problems that make a module impossible to execute
+  or mutate safely (missing terminators, unknown branch targets, duplicate
+  uids).  :func:`verify_module` raises :class:`IRVerificationError` for
+  these unless ``raise_on_error=False``.
+* *warnings* -- constructs that are legal but likely wrong, such as reading
+  a register that no instruction ever defines.  GEVO-generated variants
+  routinely contain such patterns (the variant then traps at runtime and
+  fails its test case), so warnings never block execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import IRVerificationError
+from .function import Function, Module
+from .values import Reg
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying a module or function."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when there are no structural errors (warnings allowed)."""
+        return not self.errors
+
+    def extend(self, other: "VerificationReport") -> None:
+        self.errors.extend(other.errors)
+        self.warnings.extend(other.warnings)
+
+    def summary(self) -> str:
+        return f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+
+
+def verify_function(func: Function) -> VerificationReport:
+    """Verify a single function and return a report."""
+    report = VerificationReport()
+    labels = set(func.block_order())
+
+    if not labels:
+        report.errors.append(f"{func.name}: function has no basic blocks")
+        return report
+
+    seen_uids = set()
+    defined = set(func.param_names()) | set(func.shared_names())
+    for inst in func.instructions():
+        if inst.dest is not None:
+            defined.add(inst.dest)
+        if inst.uid in seen_uids:
+            report.errors.append(f"{func.name}: duplicate instruction uid {inst.uid}")
+        seen_uids.add(inst.uid)
+
+    for label in func.block_order():
+        block = func.blocks[label]
+        if not block.instructions:
+            report.errors.append(f"{func.name}:{label}: empty basic block")
+            continue
+        terminator = block.instructions[-1]
+        if not terminator.is_terminator:
+            report.errors.append(
+                f"{func.name}:{label}: block does not end with a terminator "
+                f"(last instruction: {terminator.opcode})"
+            )
+        for position, inst in enumerate(block.instructions[:-1]):
+            if inst.is_terminator:
+                report.errors.append(
+                    f"{func.name}:{label}: terminator {inst.opcode!r} at position {position} "
+                    "is not the last instruction"
+                )
+        for target in block.successors():
+            if target not in labels:
+                report.errors.append(
+                    f"{func.name}:{label}: branch to unknown block {target!r}"
+                )
+
+    for label in func.block_order():
+        for inst in func.blocks[label]:
+            for op in inst.operands:
+                if isinstance(op, Reg) and op.name not in defined:
+                    report.warnings.append(
+                        f"{func.name}:{label}: instruction uid={inst.uid} reads register "
+                        f"%{op.name} that is never defined"
+                    )
+    return report
+
+
+def verify_module(module: Module, raise_on_error: bool = True) -> VerificationReport:
+    """Verify every function in *module*.
+
+    Raises :class:`IRVerificationError` when structural errors are found and
+    ``raise_on_error`` is true; otherwise returns the report for inspection.
+    """
+    report = VerificationReport()
+    for name in module.function_order():
+        report.extend(verify_function(module.functions[name]))
+    if report.errors and raise_on_error:
+        raise IRVerificationError(
+            f"module {module.name!r} failed verification: " + "; ".join(report.errors[:5])
+        )
+    return report

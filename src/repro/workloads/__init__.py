@@ -1,0 +1,12 @@
+"""The paper workloads (ADEPT, SIMCoV) plus a tiny toy workload for demos/tests."""
+
+from .toy import ToyKernel, ToyWorkloadAdapter, build_toy_kernel, toy_discovered_edits
+
+__all__ = [
+    "ToyKernel",
+    "ToyWorkloadAdapter",
+    "adept",
+    "build_toy_kernel",
+    "simcov",
+    "toy_discovered_edits",
+]

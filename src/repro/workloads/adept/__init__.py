@@ -1,0 +1,88 @@
+"""ADEPT: GPU-accelerated Smith-Waterman sequence alignment (paper Section II-B).
+
+Public surface:
+
+* CPU reference: :func:`alignment_score`, :func:`score_matrix`, :func:`traceback`
+* datasets: :func:`generate_pairs`, :func:`fitness_pairs`, :func:`heldout_pairs`
+* kernels: :func:`build_adept_v0`, :func:`build_adept_v1`
+* host driver / GEVO adapter: :class:`AdeptDriver`, :class:`AdeptWorkloadAdapter`
+* recorded GEVO edits: :func:`adept_v0_discovered_edits`,
+  :func:`adept_v1_discovered_edits`, :func:`adept_v1_epistatic_edits`
+"""
+
+from .discovered import (
+    EPISTATIC_CLUSTER,
+    adept_v0_discovered_edits,
+    adept_v0_partial_edits,
+    adept_v1_ballot_sync_edits,
+    adept_v1_discovered_edits,
+    adept_v1_edit,
+    adept_v1_epistatic_edits,
+    adept_v1_independent_edits,
+)
+from .driver import AdeptDriver, AdeptRunResult, AdeptWorkloadAdapter
+from .kernel_v0 import build_adept_v0
+from .kernel_v1 import AdeptKernel, build_adept_v1
+from .sequences import (
+    ALPHABET,
+    EncodedBatch,
+    SequencePair,
+    encode_batch,
+    encode_sequence,
+    fitness_pairs,
+    generate_pairs,
+    heldout_pairs,
+    mutate_sequence,
+    random_sequence,
+    search_pairs,
+)
+from .smith_waterman import (
+    GAP_PENALTY,
+    MATCH_SCORE,
+    MISMATCH_PENALTY,
+    ScoringScheme,
+    alignment_end_position,
+    alignment_score,
+    batch_alignment_scores,
+    score_matrix,
+    traceback,
+    wavefront_alignment_score,
+)
+
+__all__ = [
+    "ALPHABET",
+    "AdeptDriver",
+    "AdeptKernel",
+    "AdeptRunResult",
+    "AdeptWorkloadAdapter",
+    "EPISTATIC_CLUSTER",
+    "EncodedBatch",
+    "GAP_PENALTY",
+    "MATCH_SCORE",
+    "MISMATCH_PENALTY",
+    "ScoringScheme",
+    "SequencePair",
+    "adept_v0_discovered_edits",
+    "adept_v0_partial_edits",
+    "adept_v1_ballot_sync_edits",
+    "adept_v1_discovered_edits",
+    "adept_v1_edit",
+    "adept_v1_epistatic_edits",
+    "adept_v1_independent_edits",
+    "alignment_end_position",
+    "alignment_score",
+    "batch_alignment_scores",
+    "build_adept_v0",
+    "build_adept_v1",
+    "encode_batch",
+    "encode_sequence",
+    "fitness_pairs",
+    "generate_pairs",
+    "heldout_pairs",
+    "mutate_sequence",
+    "random_sequence",
+    "score_matrix",
+    "search_pairs",
+    "traceback",
+    "wavefront_alignment_score",
+]

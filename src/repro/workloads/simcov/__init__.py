@@ -1,0 +1,95 @@
+"""SIMCoV: the agent-based SARS-CoV-2 lung-infection simulation (paper Section II-C).
+
+Public surface:
+
+* parameters / state: :class:`SimCovParams`, :class:`SimCovState`
+* CPU reference model: :func:`run_reference`, :func:`reference_trajectory`
+* GPU kernels: :func:`build_simcov_kernels`, :class:`SimCovKernels`
+* host driver / GEVO adapter: :class:`SimCovDriver`, :class:`SimCovWorkloadAdapter`
+* recorded GEVO edits: :func:`simcov_discovered_edits`,
+  :func:`boundary_check_removal_edits`, :func:`redundant_load_removal_edits`
+* the safe padding alternative: :func:`build_padded_spread_kernel`, :func:`run_padded_spread`
+* validation: :func:`states_close`, :func:`compare_states`
+"""
+
+from .discovered import (
+    SPREAD_KERNELS,
+    boundary_check_removal_edits,
+    redundant_load_removal_edits,
+    simcov_discovered_edits,
+    single_direction_edits,
+)
+from .driver import ARENA_GUARD_ELEMENTS, SimCovDriver, SimCovRunResult, SimCovWorkloadAdapter
+from .kernels import BLOCK_THREADS, DIRECTIONS, SimCovKernels, build_simcov_kernels
+from .padding import (
+    PaddedSpreadResult,
+    build_padded_spread_kernel,
+    pad_field,
+    run_padded_spread,
+    unpad_field,
+)
+from .params import (
+    APOPTOTIC,
+    DEAD,
+    EXPRESSING,
+    HEALTHY,
+    INCUBATING,
+    STATE_NAMES,
+    SimCovParams,
+)
+from .reference import (
+    diffuse,
+    extravasate_tcells,
+    move_tcells,
+    produce_virions,
+    reference_trajectory,
+    run_reference,
+    spread_fields,
+    step,
+    update_epithelial,
+)
+from .state import SimCovState
+from .validation import FieldDeviation, compare_states, field_deviation, states_close, summaries_close
+
+__all__ = [
+    "APOPTOTIC",
+    "ARENA_GUARD_ELEMENTS",
+    "BLOCK_THREADS",
+    "DEAD",
+    "DIRECTIONS",
+    "EXPRESSING",
+    "FieldDeviation",
+    "HEALTHY",
+    "INCUBATING",
+    "PaddedSpreadResult",
+    "STATE_NAMES",
+    "SPREAD_KERNELS",
+    "SimCovDriver",
+    "SimCovKernels",
+    "SimCovParams",
+    "SimCovRunResult",
+    "SimCovState",
+    "SimCovWorkloadAdapter",
+    "boundary_check_removal_edits",
+    "build_padded_spread_kernel",
+    "build_simcov_kernels",
+    "compare_states",
+    "diffuse",
+    "extravasate_tcells",
+    "field_deviation",
+    "move_tcells",
+    "pad_field",
+    "produce_virions",
+    "redundant_load_removal_edits",
+    "reference_trajectory",
+    "run_padded_spread",
+    "run_reference",
+    "simcov_discovered_edits",
+    "single_direction_edits",
+    "spread_fields",
+    "states_close",
+    "step",
+    "summaries_close",
+    "unpad_field",
+    "update_epithelial",
+]

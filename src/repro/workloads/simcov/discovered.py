@@ -1,0 +1,97 @@
+"""Recorded GEVO-discovered edit sets for SIMCoV (Section VI-D and VI-E).
+
+Three variants are encoded:
+
+* :func:`boundary_check_removal_edits` -- the unsafe optimization GEVO
+  finds: delete the per-neighbour boundary comparisons/conjunctions in the
+  two diffusion kernels and force the neighbour branches to always execute.
+  Fast (the paper reports ~20%), passes the small fitness grid thanks to
+  the device allocator's guard slack, and faults on the larger held-out
+  grid.
+* :func:`redundant_load_removal_edits` -- the independent edit deleting
+  the leftover centre reload in each diffusion kernel (the paper's
+  Section V-B notes SIMCoV's impactful edits are independent, not
+  epistatic).
+* :func:`simcov_discovered_edits` -- the combination used for the Figure 5
+  headline numbers.
+
+The safe alternative the SIMCoV developers adopted -- padding the grid with
+a border of zero cells so the checks are unnecessary (Figure 10(c)) -- is a
+host-side change, not an IR edit; it is implemented by
+:class:`~repro.workloads.simcov.padding.PaddedSimCovDriver`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...gevo.edits import Edit, InstructionDelete, OperandReplace
+from ...ir.values import Reg
+from .kernels import DIRECTIONS, SimCovKernels
+
+#: The two kernels whose boundary logic the recorded edits rewrite.
+SPREAD_KERNELS = ("simcov_spread_virions", "simcov_spread_chemokine")
+
+
+def _targets(kernels: SimCovKernels, kernel_name: str) -> Dict[str, int]:
+    try:
+        return kernels.edit_targets[kernel_name]
+    except KeyError:
+        raise KeyError(
+            f"kernel {kernel_name!r} has no recorded edit targets; was the module built "
+            "by build_simcov_kernels()?") from None
+
+
+def boundary_check_removal_edits(kernels: SimCovKernels,
+                                 kernel_names=SPREAD_KERNELS) -> List[Edit]:
+    """Delete the boundary comparisons and take every neighbour branch.
+
+    For each of the four neighbour directions of each diffusion kernel the
+    set contains one operand replacement (the branch condition becomes the
+    always-true ``in_grid`` guard) and seven deletions (four comparisons and
+    three conjunctions) -- the "multiple conditional branches" removal the
+    paper describes.
+    """
+    edits: List[Edit] = []
+    for kernel_name in kernel_names:
+        targets = _targets(kernels, kernel_name)
+        for name, _, _ in DIRECTIONS:
+            edits.append(OperandReplace(targets[f"{name}_branch"], 0, Reg("in_grid")))
+            for suffix in ("check_rem", "check_div", "check_add_x", "check_add_y",
+                           "cmp_x_low", "cmp_x_high", "cmp_y_low", "cmp_y_high",
+                           "and_x", "and_y", "and_all"):
+                edits.append(InstructionDelete(targets[f"{name}_{suffix}"]))
+    return edits
+
+
+def redundant_load_removal_edits(kernels: SimCovKernels,
+                                 kernel_names=SPREAD_KERNELS) -> List[Edit]:
+    """Delete the unused centre reload in each diffusion kernel."""
+    return [InstructionDelete(_targets(kernels, kernel_name)["redundant_centre_load"])
+            for kernel_name in kernel_names]
+
+
+def simcov_discovered_edits(kernels: SimCovKernels) -> List[Edit]:
+    """The full recorded SIMCoV optimization (Figure 5 headline variant)."""
+    return redundant_load_removal_edits(kernels) + boundary_check_removal_edits(kernels)
+
+
+def single_direction_edits(kernels: SimCovKernels, kernel_name: str,
+                           direction: str) -> List[Edit]:
+    """The boundary-removal cluster for one direction of one kernel.
+
+    Used by the analysis experiments to show that the branch rewrite and
+    the comparison deletions within one direction are interdependent
+    (deleting a comparison whose result still feeds the branch makes the
+    variant fail), while clusters for different directions are independent
+    of each other.
+    """
+    targets = _targets(kernels, kernel_name)
+    if direction not in {name for name, _, _ in DIRECTIONS}:
+        raise KeyError(f"unknown direction {direction!r}")
+    edits: List[Edit] = [OperandReplace(targets[f"{direction}_branch"], 0, Reg("in_grid"))]
+    for suffix in ("check_rem", "check_div", "check_add_x", "check_add_y",
+                   "cmp_x_low", "cmp_x_high", "cmp_y_low", "cmp_y_high",
+                   "and_x", "and_y", "and_all"):
+        edits.append(InstructionDelete(targets[f"{direction}_{suffix}"]))
+    return edits

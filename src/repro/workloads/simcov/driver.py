@@ -1,0 +1,195 @@
+"""Host-side driver and GEVO adapter for the SIMCoV workload.
+
+The driver owns the simulation state arrays, launches the eight kernels in
+order for every time step (with the buffer swaps the double-buffered
+kernels require), and accumulates the total simulated kernel time, which is
+GEVO's fitness.  The device is configured with the unified global-memory
+arena so that slightly out-of-bounds accesses behave like they do on real
+CUDA hardware (read a neighbouring allocation) -- the behaviour the
+boundary-check study of Section VI-D depends on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...errors import KernelTrap, LaunchError
+from ...gevo.fitness import CaseResult, FitnessResult, WorkloadAdapter
+from ...gpu import GpuArch, GpuDevice, P100
+from ...ir import Module
+from .kernels import BLOCK_THREADS, SimCovKernels, build_simcov_kernels
+from .params import SimCovParams
+from .reference import run_reference
+from .state import SimCovState
+from .validation import states_close
+
+#: Guard region (in elements) of the simulated device allocator.  Chosen so
+#: that the fitness grid's out-of-bounds rows stay inside mapped memory
+#: while the wider validation grid's do not (Section VI-D).
+ARENA_GUARD_ELEMENTS = 24
+
+
+@dataclass
+class SimCovRunResult:
+    """Result of one GPU SIMCoV run."""
+
+    state: SimCovState
+    kernel_time_ms: float
+    launches: int
+    stats: np.ndarray
+    summaries: List[Dict[str, float]] = field(default_factory=list)
+
+
+class SimCovDriver:
+    """Launches the SIMCoV kernels over a simulation."""
+
+    def __init__(self, kernels: Optional[SimCovKernels] = None,
+                 device: Optional[GpuDevice] = None, arch: GpuArch = P100):
+        self.kernels = kernels or build_simcov_kernels()
+        self.device = device or GpuDevice(
+            arch, unified_memory_arena=True, arena_guard_elements=ARENA_GUARD_ELEMENTS)
+
+    # -- execution -------------------------------------------------------------------
+    def run(self, params: SimCovParams, module: Optional[Module] = None,
+            record_summaries: bool = False) -> SimCovRunResult:
+        """Run the simulation described by *params* using *module*."""
+        module = module if module is not None else self.kernels.module
+        state = SimCovState.initial(params)
+        grid = max(1, math.ceil(params.cells / self.kernels.block_threads))
+        block = self.kernels.block_threads
+        total_time = 0.0
+        launches = 0
+        stats = np.zeros(4, dtype=np.float64)
+        summaries: List[Dict[str, float]] = []
+
+        def launch(kernel_name: str, args: Dict[str, object]) -> None:
+            nonlocal total_time, launches
+            result = self.device.launch(module, grid=grid, block=block, args=args,
+                                        kernel_name=kernel_name)
+            total_time += result.time_ms
+            launches += 1
+
+        sites = params.infection_cells()
+        launch("simcov_init", {
+            "epithelial": state.epithelial, "timer": state.timer,
+            "virions": state.virions, "chemokine": state.chemokine,
+            "tcells": state.tcells, "n_cells": params.cells,
+            "site_a": sites[0], "site_b": sites[-1],
+            "initial_virions": params.initial_virions,
+        })
+
+        for step_index in range(params.steps):
+            launch("simcov_extravasate", {
+                "tcells": state.tcells, "chemokine": state.chemokine,
+                "n_cells": params.cells, "seed": params.seed, "step": step_index,
+                "threshold": params.chemokine_extravasate_threshold,
+                "probability": params.extravasate_probability,
+            })
+            state.tcells_next[:] = 0.0
+            launch("simcov_move_tcells", {
+                "tcells": state.tcells, "tcells_next": state.tcells_next,
+                "n_cells": params.cells, "width": params.width, "height": params.height,
+                "seed": params.seed, "step": step_index,
+            })
+            state.swap_tcell_buffers()
+            launch("simcov_update_epithelial", {
+                "epithelial": state.epithelial, "timer": state.timer,
+                "virions": state.virions, "tcells": state.tcells,
+                "n_cells": params.cells,
+                "infect_threshold": params.infectivity_threshold,
+                "incubation_period": params.incubation_period,
+                "apoptosis_period": params.apoptosis_period,
+            })
+            launch("simcov_produce", {
+                "epithelial": state.epithelial, "virions": state.virions,
+                "chemokine": state.chemokine, "n_cells": params.cells,
+                "virion_production": params.virion_production,
+                "chemokine_production": params.chemokine_production,
+            })
+            for _ in range(params.diffusion_substeps):
+                launch("simcov_spread_virions", {
+                    "virions": state.virions, "virions_next": state.virions_next,
+                    "n_cells": params.cells, "width": params.width, "height": params.height,
+                    "diffusion": params.virion_diffusion, "decay": params.virion_decay,
+                })
+                launch("simcov_spread_chemokine", {
+                    "chemokine": state.chemokine, "chemokine_next": state.chemokine_next,
+                    "n_cells": params.cells, "width": params.width, "height": params.height,
+                    "diffusion": params.chemokine_diffusion, "decay": params.chemokine_decay,
+                })
+                state.swap_diffusion_buffers()
+            # The application samples its observables once per reporting
+            # interval, not every step; launch the reduction on the last step.
+            if step_index == params.steps - 1:
+                stats[:] = 0.0
+                launch("simcov_statistics", {
+                    "virions": state.virions, "chemokine": state.chemokine,
+                    "tcells": state.tcells, "epithelial": state.epithelial,
+                    "stats": stats, "n_cells": params.cells,
+                })
+            state.step += 1
+            if record_summaries:
+                summaries.append(state.summary())
+
+        return SimCovRunResult(state=state, kernel_time_ms=total_time,
+                               launches=launches, stats=stats, summaries=summaries)
+
+
+class SimCovWorkloadAdapter(WorkloadAdapter):
+    """GEVO adapter: fitness = total kernel time, validity = tolerance check.
+
+    The fitness run uses the small grid (the stand-in for the paper's
+    100x100 fitness grid); :meth:`validate` re-runs the variant on the
+    larger held-out grid, where unsafe out-of-bounds optimizations fault.
+    """
+
+    def __init__(self, arch: GpuArch = P100,
+                 fitness_params: Optional[SimCovParams] = None,
+                 validation_params: Optional[SimCovParams] = None,
+                 relative_tolerance: float = 0.15):
+        self.arch = arch
+        self.driver = SimCovDriver(arch=arch)
+        self.fitness_params = fitness_params or SimCovParams.fitness()
+        self.validation_params = validation_params or SimCovParams.validation()
+        self.relative_tolerance = relative_tolerance
+        self.name = f"SIMCoV on {arch.name}"
+        self._reference_fitness = run_reference(self.fitness_params)
+        self._reference_validation = run_reference(self.validation_params)
+
+    # -- WorkloadAdapter interface ----------------------------------------------------
+    def original_module(self) -> Module:
+        return self.driver.kernels.module
+
+    @property
+    def kernels(self) -> SimCovKernels:
+        return self.driver.kernels
+
+    def evaluate(self, module: Module) -> FitnessResult:
+        case = self._run_case(module, self.fitness_params, self._reference_fitness,
+                              name="fitness-grid")
+        return FitnessResult.from_cases([case])
+
+    def validate(self, module: Module) -> FitnessResult:
+        case = self._run_case(module, self.validation_params, self._reference_validation,
+                              name="held-out-grid")
+        return FitnessResult.from_cases([case])
+
+    # -- helpers -----------------------------------------------------------------------
+    def _run_case(self, module: Module, params: SimCovParams,
+                  reference: SimCovState, name: str) -> CaseResult:
+        try:
+            result = self.driver.run(params, module=module)
+        except (KernelTrap, LaunchError) as exc:
+            return CaseResult(name=name, passed=False, runtime_ms=math.inf, message=str(exc))
+        ok, report = states_close(result.state, reference, self.relative_tolerance)
+        if ok:
+            return CaseResult(name=name, passed=True, runtime_ms=result.kernel_time_ms)
+        worst = max(report, key=report.get)
+        return CaseResult(
+            name=name, passed=False, runtime_ms=result.kernel_time_ms,
+            message=(f"output deviates from the fixed-seed ground truth: field {worst!r} "
+                     f"relative error {report[worst]:.3f} exceeds {self.relative_tolerance}"))

@@ -1,0 +1,187 @@
+"""CPU reference implementation of the SIMCoV model.
+
+This is the ground-truth oracle used to validate the GPU kernels and every
+GEVO variant of them, mirroring the paper's methodology: the simulation is
+run with a fixed random seed and the unmodified program's output is taken
+as ground truth (Section III-C).  The reference and the GPU kernels share
+the counter-based RNG (:mod:`repro.gpu.rng`) and follow the same update
+order, so -- up to T-cell movement races, which the tolerance-based
+validation absorbs -- they produce matching trajectories.
+
+Per step, the update order is (matching the GPU kernel launch order):
+
+1. T-cell extravasation driven by the inflammatory signal.
+2. T-cell death and random movement (conflicts resolved in cell order).
+3. Epithelial state machine update.
+4. Virion / inflammatory-signal production by infected cells.
+5. Virion diffusion with boundary handling.
+6. Inflammatory-signal diffusion with boundary handling.
+7. Summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...gpu.rng import counter_uniform
+from .params import APOPTOTIC, DEAD, EXPRESSING, HEALTHY, INCUBATING, SimCovParams
+from .state import SimCovState
+
+#: Probability that a T cell dies in a given step (matches the GPU kernel).
+TCELL_DEATH_PROBABILITY = 0.05
+
+#: RNG stream identifiers, shared with the GPU kernels.
+RNG_STREAM_EXTRAVASATE = 1
+RNG_STREAM_MOVE_DIRECTION = 2
+RNG_STREAM_MOVE_DEATH = 3
+
+
+def _neighbour_sums(field: np.ndarray, width: int, height: int):
+    """Sum of in-bounds neighbours and the neighbour count, per cell."""
+    grid = field.reshape(height, width)
+    total = np.zeros_like(grid)
+    count = np.zeros_like(grid)
+    # Left, right, up, down -- same order as the GPU kernel accumulates.
+    total[:, 1:] += grid[:, :-1]
+    count[:, 1:] += 1
+    total[:, :-1] += grid[:, 1:]
+    count[:, :-1] += 1
+    total[1:, :] += grid[:-1, :]
+    count[1:, :] += 1
+    total[:-1, :] += grid[1:, :]
+    count[:-1, :] += 1
+    return total.reshape(-1), count.reshape(-1)
+
+
+def diffuse(field: np.ndarray, width: int, height: int,
+            diffusion: float, decay: float) -> np.ndarray:
+    """One diffusion + decay update of a scalar field (kernels 5 and 6)."""
+    total, count = _neighbour_sums(field, width, height)
+    updated = (field + diffusion * (total - count * field)) * (1.0 - decay)
+    return np.maximum(updated, 0.0)
+
+
+def extravasate_tcells(state: SimCovState) -> None:
+    """Kernel 2 equivalent: T cells enter where inflammatory signal is present."""
+    params = state.params
+    cells = np.arange(params.cells)
+    draws = counter_uniform(params.seed, state.step * 8 + RNG_STREAM_EXTRAVASATE, cells)
+    eligible = (state.tcells == 0) & (state.chemokine > params.chemokine_extravasate_threshold)
+    arriving = eligible & (draws < params.extravasate_probability)
+    state.tcells[arriving] = 1.0
+
+
+def move_tcells(state: SimCovState) -> None:
+    """Kernel 3 equivalent: random T-cell walk with cell-order conflict resolution."""
+    params = state.params
+    width, height = params.width, params.height
+    next_tcells = np.zeros_like(state.tcells)
+    death_draws = counter_uniform(params.seed, state.step * 8 + RNG_STREAM_MOVE_DEATH,
+                                  np.arange(params.cells))
+    direction_draws = counter_uniform(params.seed, state.step * 8 + RNG_STREAM_MOVE_DIRECTION,
+                                      np.arange(params.cells))
+    for cell in range(params.cells):
+        if state.tcells[cell] == 0:
+            continue
+        if death_draws[cell] < TCELL_DEATH_PROBABILITY:
+            continue
+        direction = int(direction_draws[cell] * 5.0)
+        x, y = cell % width, cell // width
+        target = cell
+        if direction == 1 and x > 0:
+            target = cell - 1
+        elif direction == 2 and x < width - 1:
+            target = cell + 1
+        elif direction == 3 and y > 0:
+            target = cell - width
+        elif direction == 4 and y < height - 1:
+            target = cell + width
+        if next_tcells[target] == 0:
+            next_tcells[target] = 1.0
+        elif next_tcells[cell] == 0:
+            next_tcells[cell] = 1.0
+        # Otherwise both the target and the origin are occupied: the T cell
+        # is lost, exactly like the losing thread of the GPU race.
+    state.tcells_next = next_tcells
+    state.swap_tcell_buffers()
+
+
+def update_epithelial(state: SimCovState) -> None:
+    """Kernel 4 equivalent: the epithelial cell state machine."""
+    params = state.params
+    epithelial = state.epithelial
+    timer = state.timer
+
+    healthy = epithelial == HEALTHY
+    infected_now = healthy & (state.virions > params.infectivity_threshold)
+    epithelial[infected_now] = INCUBATING
+    timer[infected_now] = 0.0
+
+    incubating = epithelial == INCUBATING
+    incubating &= ~infected_now
+    timer[incubating] += 1.0
+    express_now = incubating & (timer >= params.incubation_period)
+    epithelial[express_now] = EXPRESSING
+    timer[express_now] = 0.0
+
+    expressing = (epithelial == EXPRESSING) & ~express_now
+    killed = expressing & (state.tcells > 0)
+    epithelial[killed] = APOPTOTIC
+    timer[killed] = 0.0
+
+    apoptotic = (epithelial == APOPTOTIC) & ~killed
+    timer[apoptotic] += 1.0
+    dead_now = apoptotic & (timer >= params.apoptosis_period)
+    epithelial[dead_now] = DEAD
+
+
+def produce_virions(state: SimCovState) -> None:
+    """Kernel 5 equivalent: expressing cells shed virions and inflammatory signal."""
+    params = state.params
+    expressing = state.epithelial == EXPRESSING
+    apoptotic = state.epithelial == APOPTOTIC
+    state.virions[expressing] += params.virion_production
+    state.chemokine[expressing] += params.chemokine_production
+    state.chemokine[apoptotic] += params.chemokine_production * 0.5
+
+
+def spread_fields(state: SimCovState) -> None:
+    """Kernels 6 and 7 equivalent: virion and inflammatory-signal diffusion.
+
+    Diffusion uses ``diffusion_substeps`` finer sub-steps per simulation
+    step, matching the GPU driver's repeated spread-kernel launches.
+    """
+    params = state.params
+    for _ in range(params.diffusion_substeps):
+        state.virions_next = diffuse(state.virions, params.width, params.height,
+                                     params.virion_diffusion, params.virion_decay)
+        state.chemokine_next = diffuse(state.chemokine, params.width, params.height,
+                                       params.chemokine_diffusion, params.chemokine_decay)
+        state.swap_diffusion_buffers()
+
+
+def step(state: SimCovState) -> Dict[str, float]:
+    """Advance the reference simulation by one step and return its summary."""
+    extravasate_tcells(state)
+    move_tcells(state)
+    update_epithelial(state)
+    produce_virions(state)
+    spread_fields(state)
+    state.step += 1
+    return state.summary()
+
+
+def run_reference(params: SimCovParams) -> SimCovState:
+    """Run the full reference simulation and return the final state."""
+    state = SimCovState.initial(params)
+    for _ in range(params.steps):
+        step(state)
+    return state
+
+
+def reference_trajectory(params: SimCovParams) -> List[Dict[str, float]]:
+    """Per-step summaries of a reference run (used by examples and tests)."""
+    state = SimCovState.initial(params)
+    return [step(state) for _ in range(params.steps)]

@@ -1,0 +1,98 @@
+"""Tolerance-based validation of SIMCoV outputs.
+
+SIMCoV has no formal test dataset; the paper fixes the random seed, treats
+the unmodified program's output as ground truth, and introduces
+"per-value mean and per-value variance" measures to decide whether a
+variant's output is close enough despite the residual non-determinism
+(T-cell movement races resolved by the hardware scheduler) --
+Section III-C.  This module implements those measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .state import SimCovState
+
+#: Fields compared between a variant run and the ground-truth run.
+COMPARED_FIELDS = ("virions", "chemokine", "tcells", "epithelial")
+
+
+@dataclass(frozen=True)
+class FieldDeviation:
+    """Per-value deviation statistics of one field."""
+
+    field: str
+    mean_abs_error: float
+    max_abs_error: float
+    reference_scale: float
+
+    @property
+    def relative_error(self) -> float:
+        """Mean absolute error normalised by the reference scale."""
+        if self.reference_scale <= 0:
+            return self.mean_abs_error
+        return self.mean_abs_error / self.reference_scale
+
+
+def field_deviation(name: str, candidate: np.ndarray, reference: np.ndarray) -> FieldDeviation:
+    """Per-value deviation of one candidate field against the reference."""
+    candidate = np.asarray(candidate, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if candidate.shape != reference.shape:
+        raise ValueError(
+            f"field {name!r}: candidate shape {candidate.shape} differs from "
+            f"reference shape {reference.shape}")
+    difference = np.abs(candidate - reference)
+    scale = float(np.abs(reference).mean())
+    scale = max(scale, 1.0)
+    return FieldDeviation(
+        field=name,
+        mean_abs_error=float(difference.mean()),
+        max_abs_error=float(difference.max()) if difference.size else 0.0,
+        reference_scale=scale,
+    )
+
+
+def compare_states(candidate: SimCovState, reference: SimCovState) -> List[FieldDeviation]:
+    """Per-value deviations for every compared field."""
+    deviations = []
+    for name in COMPARED_FIELDS:
+        deviations.append(field_deviation(name, getattr(candidate, name),
+                                          getattr(reference, name)))
+    return deviations
+
+
+def states_close(candidate: SimCovState, reference: SimCovState,
+                 relative_tolerance: float = 0.15) -> Tuple[bool, Dict[str, float]]:
+    """Decide whether a variant's final state matches ground truth.
+
+    Returns ``(ok, per-field relative errors)``.  The default tolerance is
+    deliberately loose -- matching the paper's observation that the
+    fitness-time validation accepted the boundary-check removal -- while
+    still rejecting grossly wrong outputs (empty virion fields, runaway
+    values, missing T cells).
+    """
+    deviations = compare_states(candidate, reference)
+    report = {dev.field: dev.relative_error for dev in deviations}
+    ok = all(np.isfinite(dev.relative_error) and dev.relative_error <= relative_tolerance
+             for dev in deviations)
+    return ok, report
+
+
+def summaries_close(candidate: Dict[str, float], reference: Dict[str, float],
+                    relative_tolerance: float = 0.15) -> bool:
+    """Compare two summary dictionaries (total virions, T-cell count, ...)."""
+    for key, reference_value in reference.items():
+        if key == "step":
+            continue
+        candidate_value = candidate.get(key, float("nan"))
+        scale = max(abs(reference_value), 1.0)
+        if not np.isfinite(candidate_value):
+            return False
+        if abs(candidate_value - reference_value) / scale > relative_tolerance:
+            return False
+    return True

@@ -1,0 +1,145 @@
+"""Tests for Algorithm 1, Algorithm 2, the subset sweep and the source mapping.
+
+The fast cases run against the toy workload (three independent wasteful
+instructions plus a deliberately weak edit); the ADEPT cases check the
+paper's headline structure on the real workload.
+"""
+
+import pytest
+
+from repro.analysis import (
+    build_dependency_graph,
+    cumulative_discovery_table,
+    discovery_sequence,
+    epistatic_clusters,
+    exhaustive_subset_analysis,
+    figure7_report,
+    format_source_report,
+    identify_weak_edits,
+    map_edits_to_source,
+    separate_edits,
+)
+from repro.gevo import GevoConfig, GevoSearch, OperandReplace
+from repro.gevo.history import SearchHistory
+from repro.ir import Const
+from repro.workloads import ToyWorkloadAdapter, toy_discovered_edits
+from repro.workloads.adept import adept_v1_epistatic_edits
+
+
+@pytest.fixture(scope="module")
+def toy_adapter():
+    return ToyWorkloadAdapter(elements=128)
+
+
+@pytest.fixture(scope="module")
+def toy_edits(toy_adapter):
+    return toy_discovered_edits(toy_adapter.kernel)
+
+
+def _weak_edit(toy_adapter):
+    """An edit with no performance effect: rewrite a constant to the same value."""
+    module = toy_adapter.original_module()
+    mul = next(inst for inst in module.instructions()
+               if inst.opcode == "mul" and inst.dest == "scaled")
+    return OperandReplace(mul.uid, 1, Const(3))
+
+
+class TestMinimization:
+    def test_weak_edit_is_removed(self, toy_adapter, toy_edits):
+        edits = toy_edits + [_weak_edit(toy_adapter)]
+        result = identify_weak_edits(toy_adapter, edits)
+        weak_keys = {edit.key() for edit in result.weak}
+        assert _weak_edit(toy_adapter).key() in weak_keys
+        assert len(result.significant) >= 2
+
+    def test_improvement_is_preserved(self, toy_adapter, toy_edits):
+        result = identify_weak_edits(toy_adapter, toy_edits + [_weak_edit(toy_adapter)])
+        assert result.minimized_improvement == pytest.approx(result.full_improvement, abs=0.02)
+        assert result.improvement_lost < 0.02
+        assert "significant" in result.summary()
+
+    def test_adept_minimization_keeps_cluster(self, adept_v1_adapter):
+        from repro.workloads.adept import adept_v1_discovered_edits
+
+        edits = adept_v1_discovered_edits(adept_v1_adapter.kernel)
+        result = identify_weak_edits(adept_v1_adapter, edits)
+        # The four cluster edits and the barrier removal must survive.
+        assert len(result.significant) >= 4
+        assert result.minimized_improvement > 0.15
+
+
+class TestEpistasisSeparation:
+    def test_toy_edits_are_independent(self, toy_adapter, toy_edits):
+        result = separate_edits(toy_adapter, toy_edits)
+        assert len(result.independent) == len(toy_edits)
+        assert not result.epistatic
+        assert result.independent_improvement > 0
+
+    def test_adept_cluster_is_epistatic(self, adept_v1_adapter):
+        cluster = list(adept_v1_epistatic_edits(adept_v1_adapter.kernel).values())
+        result = separate_edits(adept_v1_adapter, cluster)
+        # Edits 5, 8 and 10 fail alone, so they cannot be classified independent.
+        assert len(result.epistatic) >= 3
+        assert result.summary()
+
+
+class TestSubsetAnalysis:
+    def test_exhaustive_subsets_count(self, toy_adapter, toy_edits):
+        analysis = exhaustive_subset_analysis(toy_adapter, toy_edits)
+        assert len(analysis.outcomes) == 2 ** len(toy_edits) - 1
+        assert analysis.best_subset() is not None
+
+    def test_guard_against_explosion(self, toy_adapter, toy_edits):
+        with pytest.raises(ValueError):
+            exhaustive_subset_analysis(toy_adapter, toy_edits * 10)
+
+    def test_adept_cluster_dependencies(self, adept_v1_adapter):
+        cluster = adept_v1_epistatic_edits(adept_v1_adapter.kernel)
+        labels = [f"edit{index}" for index in cluster]
+        analysis = exhaustive_subset_analysis(adept_v1_adapter, list(cluster.values()),
+                                              labels=labels)
+        assert set(analysis.failing_singletons()) == {"edit5", "edit8", "edit10"}
+        dependencies = analysis.dependencies()
+        assert "edit6" in dependencies["edit8"]
+        assert "edit6" in dependencies["edit10"]
+        # Edit 5 needs (at least) edit 6 plus one of the read-path rewrites; on
+        # the paper's full-size test set it needs all three (Figure 7).
+        assert {"edit6", "edit10"} <= set(dependencies["edit5"])
+        best = analysis.best_subset()
+        assert set(best.labels) == {"edit5", "edit6", "edit8", "edit10"}
+        report = figure7_report(analysis)
+        assert report["best_improvement"] > 0.05
+        graph = build_dependency_graph(analysis)
+        assert graph.has_edge("edit8", "edit6")
+        clusters = epistatic_clusters(analysis)
+        assert any(len(cluster.members) == 4 for cluster in clusters)
+
+
+class TestDiscoveryAndSourceMap:
+    def test_discovery_sequence_from_history(self, toy_adapter, toy_edits):
+        config = GevoConfig.quick(seed=21, population_size=8, generations=6)
+        search = GevoSearch(toy_adapter, config, candidate_edits=toy_edits,
+                            candidate_probability=0.8)
+        outcome = search.run()
+        labelled = {f"waste{i}": edit for i, edit in enumerate(toy_edits)}
+        sequence = discovery_sequence(outcome.history, labelled)
+        assert len(sequence.events) == len(toy_edits)
+        discovered = sequence.discovered()
+        assert discovered, "the biased search should discover at least one edit"
+        table = cumulative_discovery_table(outcome.history, labelled)
+        assert len(table) == len(discovered)
+
+    def test_discovery_handles_missing_edits(self):
+        history = SearchHistory(baseline_runtime=1.0)
+        sequence = discovery_sequence(history, {"never": OperandReplace(1, 0, Const(1))})
+        assert sequence.events[0].generation is None
+
+    def test_source_mapping_reports_locations(self, adept_v1_adapter):
+        from repro.workloads.adept import adept_v1_discovered_edits
+
+        module = adept_v1_adapter.original_module()
+        edits = adept_v1_discovered_edits(adept_v1_adapter.kernel)
+        records = map_edits_to_source(module, edits)
+        assert all(record.location is not None for record in records)
+        report = format_source_report(module, edits)
+        assert "adept_v1_kernel.cu" in report

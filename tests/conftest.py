@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuDevice, get_arch
+from repro.ir import KernelBuilder, Param, build_module
+
+
+@pytest.fixture
+def p100_device() -> GpuDevice:
+    """A simulated P100, the paper's primary analysis GPU."""
+    return GpuDevice(get_arch("P100"))
+
+
+@pytest.fixture
+def v100_device() -> GpuDevice:
+    return GpuDevice(get_arch("V100"))
+
+
+def build_axpy_kernel():
+    """A tiny saxpy-style kernel used by several tests: y[i] = a*x[i] + y[i]."""
+    b = KernelBuilder(
+        "axpy",
+        params=[Param("x", "buffer"), Param("y", "buffer"),
+                Param("a", "scalar"), Param("n", "scalar")],
+    )
+    b.block("entry")
+    tid = b.tid_x()
+    bid = b.bid_x()
+    bdim = b.bdim_x()
+    offset = b.mul(bid, bdim)
+    gid = b.add(offset, tid, dest="gid")
+    in_bounds = b.lt(gid, b.reg("n"))
+    with b.if_then(in_bounds):
+        xv = b.load(b.reg("x"), gid)
+        yv = b.load(b.reg("y"), gid)
+        scaled = b.mul(xv, b.reg("a"))
+        total = b.add(scaled, yv)
+        b.store(b.reg("y"), gid, total)
+    b.ret()
+    return b.build()
+
+
+@pytest.fixture
+def axpy_kernel():
+    return build_axpy_kernel()
+
+
+@pytest.fixture
+def axpy_module(axpy_kernel):
+    return build_module("axpy_module", axpy_kernel)
+
+
+@pytest.fixture
+def axpy_inputs():
+    rng = np.random.default_rng(7)
+    n = 150
+    x = rng.normal(size=n)
+    y = rng.normal(size=n)
+    return x, y, n
+
+
+# --------------------------------------------------------------------------- workload fixtures
+@pytest.fixture(scope="session")
+def adept_v1_adapter():
+    """ADEPT-V1 on the P100 with the small search pair set (fast evaluations)."""
+    from repro.workloads.adept import AdeptWorkloadAdapter, search_pairs
+
+    return AdeptWorkloadAdapter("v1", get_arch("P100"), fitness_cases=[search_pairs()])
+
+
+@pytest.fixture(scope="session")
+def adept_v0_adapter():
+    """ADEPT-V0 on the P100 with a single short pair (V0 is expensive to simulate)."""
+    from repro.workloads.adept import AdeptWorkloadAdapter, generate_pairs
+
+    pairs = generate_pairs(1, reference_length=36, query_length=22, seed=5)
+    return AdeptWorkloadAdapter("v0", get_arch("P100"), fitness_cases=[pairs])
+
+
+@pytest.fixture(scope="session")
+def simcov_adapter():
+    """SIMCoV on the P100 with the quick 8x8 grid."""
+    from repro.workloads.simcov import SimCovParams, SimCovWorkloadAdapter
+
+    return SimCovWorkloadAdapter(get_arch("P100"), fitness_params=SimCovParams.quick(),
+                                 validation_params=SimCovParams.validation())

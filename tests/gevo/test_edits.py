@@ -1,0 +1,164 @@
+"""Unit tests for the GEVO edit operators."""
+
+import pytest
+
+from repro.errors import EditError
+from repro.gevo import (
+    InstructionCopy,
+    InstructionDelete,
+    InstructionMove,
+    InstructionReplace,
+    InstructionSwap,
+    OperandReplace,
+    apply_edits,
+    edit_from_dict,
+    edit_kinds,
+)
+from repro.ir import Const, Reg, verify_module
+from repro.workloads import build_toy_kernel
+
+
+@pytest.fixture
+def toy_module():
+    return build_toy_kernel().module
+
+
+def _uids_by_opcode(module, opcode):
+    return [inst.uid for inst in module.instructions() if inst.opcode == opcode]
+
+
+class TestIndividualEdits:
+    def test_delete_removes_instruction(self, toy_module):
+        uid = _uids_by_opcode(toy_module, "mul")[0]
+        clone = toy_module.clone()
+        InstructionDelete(uid).apply(clone)
+        assert clone.find_instruction(uid) is None
+        assert clone.instruction_count() == toy_module.instruction_count() - 1
+
+    def test_delete_terminator_rejected(self, toy_module):
+        uid = _uids_by_opcode(toy_module, "ret")[0]
+        with pytest.raises(EditError):
+            InstructionDelete(uid).apply(toy_module.clone())
+
+    def test_delete_missing_uid_rejected(self, toy_module):
+        with pytest.raises(EditError):
+            InstructionDelete(10 ** 9).apply(toy_module.clone())
+
+    def test_copy_inserts_duplicate_with_new_uid(self, toy_module):
+        source = _uids_by_opcode(toy_module, "mul")[0]
+        before = _uids_by_opcode(toy_module, "store")[0]
+        clone = toy_module.clone()
+        InstructionCopy(source, before).apply(clone)
+        assert clone.instruction_count() == toy_module.instruction_count() + 1
+        muls = _uids_by_opcode(clone, "mul")
+        assert len(muls) == len(_uids_by_opcode(toy_module, "mul")) + 1
+
+    def test_move_changes_position(self, toy_module):
+        loads = _uids_by_opcode(toy_module, "load")
+        clone = toy_module.clone()
+        InstructionMove(loads[0], _uids_by_opcode(toy_module, "store")[0]).apply(clone)
+        assert clone.instruction_count() == toy_module.instruction_count()
+        assert clone.find_instruction(loads[0]) is not None
+
+    def test_move_before_itself_rejected(self, toy_module):
+        uid = _uids_by_opcode(toy_module, "load")[0]
+        with pytest.raises(EditError):
+            InstructionMove(uid, uid).apply(toy_module.clone())
+
+    def test_replace_keeps_target_destination(self, toy_module):
+        target = _uids_by_opcode(toy_module, "add")[-1]
+        source = _uids_by_opcode(toy_module, "mul")[0]
+        clone = toy_module.clone()
+        _, block, index = clone.find_instruction(target)
+        target_dest = block.instructions[index].dest
+        InstructionReplace(target, source).apply(clone)
+        # The replacement occupies the same position but is a new instruction
+        # (fresh uid), so the target uid is gone from the module.
+        assert clone.find_instruction(target) is None
+        replaced = block.instructions[index]
+        assert replaced.opcode == "mul"
+        assert replaced.dest == target_dest
+
+    def test_swap_exchanges_positions(self, toy_module):
+        loads = _uids_by_opcode(toy_module, "load")
+        clone = toy_module.clone()
+        func, block_a, index_a = clone.find_instruction(loads[0])
+        InstructionSwap(loads[0], loads[1]).apply(clone)
+        _, block_b, index_b = clone.find_instruction(loads[0])
+        assert (block_a.label, index_a) != (block_b.label, index_b)
+
+    def test_operand_replace_changes_value(self, toy_module):
+        uid = _uids_by_opcode(toy_module, "mul")[0]
+        clone = toy_module.clone()
+        OperandReplace(uid, 1, Const(7)).apply(clone)
+        _, block, index = clone.find_instruction(uid)
+        assert block.instructions[index].operands[1] == Const(7)
+
+    def test_operand_replace_bad_index_rejected(self, toy_module):
+        uid = _uids_by_opcode(toy_module, "mul")[0]
+        with pytest.raises(EditError):
+            OperandReplace(uid, 5, Const(1)).apply(toy_module.clone())
+
+
+class TestEditInfrastructure:
+    def test_keys_provide_equality_and_hashing(self):
+        first = InstructionDelete(10)
+        second = InstructionDelete(10)
+        third = InstructionDelete(11)
+        assert first == second and hash(first) == hash(second)
+        assert first != third
+        assert len({first, second, third}) == 2
+
+    def test_serialisation_roundtrip(self):
+        edits = [
+            InstructionDelete(1),
+            InstructionCopy(2, 3),
+            InstructionMove(4, 5),
+            InstructionReplace(6, 7),
+            InstructionSwap(8, 9),
+            OperandReplace(10, 1, Reg("valid")),
+            OperandReplace(11, 0, Const(2.5)),
+        ]
+        for edit in edits:
+            recovered = edit_from_dict(edit.to_dict())
+            assert recovered == edit
+
+    def test_edit_kinds_lists_all(self):
+        assert set(edit_kinds()) == {"copy", "delete", "move", "operand", "replace", "swap"}
+
+    def test_describe_includes_location_when_available(self, toy_module):
+        uid = _uids_by_opcode(toy_module, "load")[0]
+        text = InstructionDelete(uid).describe(toy_module)
+        assert "delete" in text
+
+
+class TestApplyEdits:
+    def test_tolerant_application_skips_failures(self, toy_module):
+        uid = _uids_by_opcode(toy_module, "mul")[0]
+        edits = [InstructionDelete(uid), InstructionDelete(uid)]  # second cannot apply
+        applied = apply_edits(toy_module, edits)
+        assert len(applied.applied) == 1
+        assert len(applied.skipped) == 1
+        assert not applied.all_applied
+
+    def test_strict_application_raises(self, toy_module):
+        uid = _uids_by_opcode(toy_module, "mul")[0]
+        with pytest.raises(EditError):
+            apply_edits(toy_module, [InstructionDelete(uid), InstructionDelete(uid)],
+                        strict=True)
+
+    def test_original_module_is_untouched(self, toy_module):
+        uid = _uids_by_opcode(toy_module, "mul")[0]
+        before = toy_module.instruction_count()
+        apply_edits(toy_module, [InstructionDelete(uid)])
+        assert toy_module.instruction_count() == before
+
+    def test_edited_module_still_structurally_valid(self, toy_module):
+        kernel = build_toy_kernel()
+        from repro.workloads import toy_discovered_edits
+
+        applied = apply_edits(toy_module, toy_discovered_edits(kernel))
+        # The recorded edits are defined against *that* kernel instance, so on a
+        # foreign module they may not all apply, but the result must verify.
+        report = verify_module(applied.module, raise_on_error=False)
+        assert not report.errors

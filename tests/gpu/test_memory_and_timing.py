@@ -1,0 +1,198 @@
+"""Unit tests for the memory model, cost model, arena and profiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelTrap, LaunchError
+from repro.gpu import (
+    GpuDevice,
+    P100,
+    V100,
+    bank_conflicts,
+    coalesced_transactions,
+    cycles_to_milliseconds,
+    get_arch,
+)
+from repro.gpu.memory import (
+    ArenaBufferHandle,
+    BufferHandle,
+    GlobalMemory,
+    SharedMemoryBlock,
+)
+from repro.gpu.timing import CostModel, MemoryAccessInfo
+from repro.ir import Instruction, KernelBuilder, Param, Reg, Const
+
+
+class TestCoalescingAndConflicts:
+    def test_contiguous_access_is_one_transaction(self):
+        assert coalesced_transactions(np.arange(32)) == 1
+
+    def test_strided_access_needs_many_transactions(self):
+        assert coalesced_transactions(np.arange(32) * 64) == 32
+
+    def test_empty_access(self):
+        assert coalesced_transactions(np.array([], dtype=np.int64)) == 0
+
+    def test_conflict_free_banks(self):
+        assert bank_conflicts(np.arange(32)) == 1
+
+    def test_same_address_conflicts(self):
+        assert bank_conflicts(np.zeros(32, dtype=np.int64)) == 32
+
+    def test_two_way_conflict(self):
+        assert bank_conflicts(np.array([0, 32, 1, 2, 3])) == 2
+
+
+class TestBufferHandle:
+    def test_bounds_check_passes_in_range(self):
+        handle = BufferHandle("b", "global", np.zeros(8))
+        idx = handle.check_bounds(np.array([0, 7]))
+        assert list(idx) == [0, 7]
+
+    def test_bounds_check_rejects_out_of_range(self):
+        handle = BufferHandle("b", "global", np.zeros(8))
+        with pytest.raises(KernelTrap):
+            handle.check_bounds(np.array([8]))
+        with pytest.raises(KernelTrap):
+            handle.check_bounds(np.array([-1]))
+
+    def test_non_finite_index_rejected(self):
+        handle = BufferHandle("b", "global", np.zeros(8))
+        with pytest.raises(KernelTrap):
+            handle.check_bounds(np.array([np.nan]))
+
+    def test_requires_one_dimensional(self):
+        with pytest.raises(LaunchError):
+            BufferHandle("b", "global", np.zeros((2, 2)))
+
+
+class TestUnifiedArena:
+    def test_slightly_out_of_bounds_reads_stay_in_arena(self):
+        memory = GlobalMemory(unified_arena=True, guard_elements=16)
+        first = memory.bind("first", np.arange(8, dtype=np.float64))
+        memory.bind("second", np.arange(8, dtype=np.float64) + 100)
+        memory.finalize_arena()
+        first = memory.get("first")
+        # Index 8 overflows 'first' but lands on 'second' (or guard) without a trap.
+        translated = first.check_bounds(np.array([8]))
+        assert translated[0] == first.offset + 8
+
+    def test_far_out_of_bounds_traps(self):
+        memory = GlobalMemory(unified_arena=True, guard_elements=4)
+        memory.bind("only", np.zeros(8))
+        memory.finalize_arena()
+        handle = memory.get("only")
+        with pytest.raises(KernelTrap):
+            handle.check_bounds(np.array([-10]))
+        with pytest.raises(KernelTrap):
+            handle.check_bounds(np.array([100]))
+
+    def test_sync_back_copies_results_to_host(self):
+        memory = GlobalMemory(unified_arena=True, guard_elements=4)
+        host = np.zeros(4)
+        memory.bind("data", host)
+        memory.finalize_arena()
+        handle = memory.get("data")
+        handle.logical_view()[:] = [1, 2, 3, 4]
+        memory.sync_back()
+        np.testing.assert_allclose(host, [1, 2, 3, 4])
+
+    def test_arena_end_to_end_launch(self):
+        device = GpuDevice(P100, unified_memory_arena=True, arena_guard_elements=8)
+        b = KernelBuilder("copy", params=[Param("src", "buffer"), Param("dst", "buffer")])
+        b.block("entry")
+        tid = b.tid_x()
+        value = b.load(b.reg("src"), tid)
+        b.store(b.reg("dst"), tid, value)
+        b.ret()
+        src = np.arange(32, dtype=np.float64)
+        dst = np.zeros(32)
+        device.launch(b.build(), grid=1, block=32, args={"src": src, "dst": dst})
+        np.testing.assert_allclose(dst, src)
+
+
+class TestSharedMemoryBlock:
+    def test_poison_fill_by_default(self, axpy_kernel):
+        from repro.ir import Function, SharedDecl
+
+        func = Function("k", shared=[SharedDecl("tile", 4, "float"),
+                                     SharedDecl("itile", 4, "int")])
+        block = SharedMemoryBlock(func)
+        assert np.isnan(block.get("tile").array).all()
+        assert (block.get("itile").array < 0).all()
+
+    def test_zero_fill_option(self):
+        from repro.ir import Function, SharedDecl
+
+        func = Function("k", shared=[SharedDecl("tile", 4, "float")])
+        block = SharedMemoryBlock(func, zero_fill=True)
+        assert (block.get("tile").array == 0).all()
+
+    def test_unknown_array_traps(self):
+        from repro.ir import Function
+
+        block = SharedMemoryBlock(Function("k"))
+        with pytest.raises(KernelTrap):
+            block.get("missing")
+
+
+class TestCostModel:
+    def _load_cost(self, arch, indices):
+        model = CostModel(arch)
+        instruction = Instruction("load", dest="v", operands=[Reg("buf"), Reg("i")])
+        handle = BufferHandle("buf", "global", np.zeros(4096))
+        return model.instruction_cost(instruction, 32,
+                                      MemoryAccessInfo(handle, np.asarray(indices)))
+
+    def test_coalesced_load_cheaper_than_scattered(self):
+        arch = get_arch("P100")
+        assert self._load_cost(arch, np.arange(32)) < self._load_cost(arch, np.arange(32) * 64)
+
+    def test_ballot_cost_differs_by_architecture(self):
+        instruction = Instruction("ballot.sync", dest="m", operands=[Reg("a"), Reg("p")])
+        pascal = CostModel(P100).instruction_cost(instruction, 32)
+        volta = CostModel(V100).instruction_cost(instruction, 32)
+        assert volta > pascal
+
+    def test_div_more_expensive_than_add(self):
+        model = CostModel(P100)
+        add = Instruction("add", dest="a", operands=[Const(1), Const(2)])
+        div = Instruction("div", dest="d", operands=[Const(1), Const(2)])
+        assert model.instruction_cost(div, 32) > model.instruction_cost(add, 32)
+
+    def test_cost_override(self):
+        arch = P100.with_overrides(cost_overrides={"add": 99})
+        model = CostModel(arch)
+        add = Instruction("add", dest="a", operands=[Const(1), Const(2)])
+        assert model.instruction_cost(add, 32) == 99
+
+    def test_cycles_to_milliseconds(self):
+        assert cycles_to_milliseconds(P100.clock_mhz * 1000.0, P100) == pytest.approx(1.0)
+
+
+class TestProfiler:
+    def test_profile_attributes_cycles_to_instructions(self, p100_device, axpy_kernel, axpy_inputs):
+        x, y, n = axpy_inputs
+        result = p100_device.launch(axpy_kernel, grid=5, block=32,
+                                    args={"x": x, "y": y.copy(), "a": 1.0, "n": n})
+        profile = result.profile
+        assert profile.total_executions() > 0
+        assert profile.total_cycles() > 0
+        hottest = profile.hottest(3)
+        assert len(hottest) == 3
+        assert hottest[0].cycles >= hottest[-1].cycles
+
+    def test_fraction_of_cycles(self, p100_device, axpy_kernel, axpy_inputs):
+        x, y, n = axpy_inputs
+        result = p100_device.launch(axpy_kernel, grid=5, block=32,
+                                    args={"x": x, "y": y.copy(), "a": 1.0, "n": n})
+        loads = [inst.uid for inst in axpy_kernel.instructions() if inst.opcode == "load"]
+        fraction = result.profile.fraction_of_cycles(loads)
+        assert 0.0 < fraction < 1.0
+
+    def test_by_opcode_category(self, p100_device, axpy_kernel, axpy_inputs):
+        x, y, n = axpy_inputs
+        result = p100_device.launch(axpy_kernel, grid=2, block=64,
+                                    args={"x": x, "y": y.copy(), "a": 1.0, "n": n})
+        categories = result.profile.by_opcode_category(axpy_kernel)
+        assert "memory" in categories and categories["memory"] > 0

@@ -1,0 +1,120 @@
+"""Round-trip and error tests for the textual IR form."""
+
+import pytest
+
+from repro.errors import IRParseError
+from repro.ir import (
+    format_function,
+    format_instruction,
+    format_module,
+    parse_function,
+    parse_module,
+)
+from repro.ir.parser import parse_instruction
+from repro.ir.values import Const, Reg
+
+from ..conftest import build_axpy_kernel
+
+
+def _roundtrip(module):
+    text = format_module(module)
+    return parse_module(text)
+
+
+class TestRoundTrip:
+    def test_axpy_module_roundtrips(self, axpy_module):
+        parsed = _roundtrip(axpy_module)
+        assert parsed.function_order() == axpy_module.function_order()
+        original = axpy_module.get_function("axpy")
+        recovered = parsed.get_function("axpy")
+        assert recovered.instruction_count() == original.instruction_count()
+        assert recovered.block_order() == original.block_order()
+        assert [i.opcode for i in recovered.instructions()] == \
+               [i.opcode for i in original.instructions()]
+
+    def test_adept_v1_roundtrips(self):
+        from repro.workloads.adept import build_adept_v1
+
+        module = build_adept_v1(64, 96).module
+        parsed = _roundtrip(module)
+        assert parsed.instruction_count() == module.instruction_count()
+        for name in module.function_order():
+            original = module.get_function(name)
+            recovered = parsed.get_function(name)
+            assert [d.name for d in recovered.shared] == [d.name for d in original.shared]
+
+    def test_simcov_roundtrips(self):
+        from repro.workloads.simcov import build_simcov_kernels
+
+        module = build_simcov_kernels().module
+        parsed = _roundtrip(module)
+        assert parsed.function_order() == module.function_order()
+        assert parsed.instruction_count() == module.instruction_count()
+
+    def test_locations_preserved(self, axpy_kernel):
+        text = format_function(axpy_kernel)
+        assert "!loc" not in text  # the axpy fixture does not set locations
+        from repro.workloads.adept import build_adept_v1
+
+        module = build_adept_v1(32, 48).module
+        parsed = _roundtrip(module)
+        locs = [i.loc for i in parsed.get_function("adept_v1_kernel").instructions()
+                if i.loc is not None]
+        assert locs, "source locations should survive the round trip"
+
+
+class TestInstructionParsing:
+    def test_parse_simple_add(self):
+        inst = parse_instruction("%x = add %a, 2")
+        assert inst.opcode == "add"
+        assert inst.dest == "x"
+        assert inst.operands == [Reg("a"), Const(2)]
+
+    def test_parse_float_and_bool_constants(self):
+        inst = parse_instruction("%x = select %p, 1.5, false")
+        assert inst.operands[1] == Const(1.5)
+        assert inst.operands[2] == Const(False)
+
+    def test_parse_branches(self):
+        br = parse_instruction("br done")
+        assert br.attrs["target"] == "done"
+        condbr = parse_instruction("condbr %p, a, b")
+        assert condbr.attrs == {"true_target": "a", "false_target": "b"}
+
+    def test_parse_location(self):
+        inst = parse_instruction("%x = tid.x !loc kernel.cu:42")
+        assert inst.loc.file == "kernel.cu"
+        assert inst.loc.line == 42
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IRParseError):
+            parse_instruction("%x = frobnicate %a")
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(IRParseError):
+            parse_instruction("%x = add %a, @$!")
+
+    def test_format_then_parse_instruction(self, axpy_kernel):
+        for inst in axpy_kernel.instructions():
+            reparsed = parse_instruction(format_instruction(inst))
+            assert reparsed.opcode == inst.opcode
+            assert reparsed.operands == inst.operands
+
+
+class TestModuleParsingErrors:
+    def test_missing_module_header(self):
+        with pytest.raises(IRParseError):
+            parse_module("func f() {\n entry:\n  ret\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(IRParseError):
+            parse_module('module "m"\nfunc f() {\n entry:\n  ret\n')
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(IRParseError):
+            parse_module('module "m"\nfunc f() {\n  ret\n}')
+
+    def test_parse_function_helper(self):
+        module, func = parse_function("func f(x: buffer) {\n entry:\n  ret\n}")
+        assert func.name == "f"
+        assert module.function_order() == ("f",)

@@ -1,0 +1,136 @@
+"""Tests for IR verification and the CFG analyses."""
+
+import pytest
+
+from repro.errors import IRVerificationError
+from repro.ir import (
+    BasicBlock,
+    Const,
+    Function,
+    Instruction,
+    Module,
+    Reg,
+    build_cfg,
+    collect_constants,
+    collect_operand_pool,
+    collect_registers,
+    immediate_postdominators,
+    reachable_blocks,
+    static_instruction_mix,
+    verify_function,
+    verify_module,
+)
+
+
+def _diamond_function():
+    """entry -> (left | right) -> merge; the classic reconvergence shape."""
+    func = Function("diamond")
+    entry = func.add_block(BasicBlock("entry"))
+    entry.append(Instruction("tid.x", dest="t"))
+    entry.append(Instruction("cmp.lt", dest="p", operands=[Reg("t"), Const(4)]))
+    entry.append(Instruction("condbr", operands=[Reg("p")],
+                             attrs={"true_target": "left", "false_target": "right"}))
+    left = func.add_block(BasicBlock("left"))
+    left.append(Instruction("add", dest="a", operands=[Reg("t"), Const(1)]))
+    left.append(Instruction("br", attrs={"target": "merge"}))
+    right = func.add_block(BasicBlock("right"))
+    right.append(Instruction("add", dest="a", operands=[Reg("t"), Const(2)]))
+    right.append(Instruction("br", attrs={"target": "merge"}))
+    merge = func.add_block(BasicBlock("merge"))
+    merge.append(Instruction("ret"))
+    return func
+
+
+class TestVerifier:
+    def test_valid_function_passes(self):
+        report = verify_function(_diamond_function())
+        assert report.ok
+        assert not report.warnings
+
+    def test_missing_terminator_is_error(self):
+        func = Function("bad")
+        block = func.add_block(BasicBlock("entry"))
+        block.append(Instruction("tid.x", dest="t"))
+        report = verify_function(func)
+        assert not report.ok
+        assert any("terminator" in message for message in report.errors)
+
+    def test_unknown_branch_target_is_error(self):
+        func = Function("bad")
+        block = func.add_block(BasicBlock("entry"))
+        block.append(Instruction("br", attrs={"target": "nowhere"}))
+        report = verify_function(func)
+        assert any("unknown block" in message for message in report.errors)
+
+    def test_undefined_register_is_warning_not_error(self):
+        func = Function("warns")
+        block = func.add_block(BasicBlock("entry"))
+        block.append(Instruction("add", dest="x", operands=[Reg("ghost"), Const(1)]))
+        block.append(Instruction("ret"))
+        report = verify_function(func)
+        assert report.ok
+        assert any("ghost" in message for message in report.warnings)
+
+    def test_verify_module_raises_on_error(self):
+        func = Function("bad")
+        func.add_block(BasicBlock("entry")).append(Instruction("nop"))
+        module = Module("m")
+        module.add_function(func)
+        with pytest.raises(IRVerificationError):
+            verify_module(module)
+        report = verify_module(module, raise_on_error=False)
+        assert not report.ok
+
+    def test_workload_kernels_verify(self):
+        from repro.workloads.adept import build_adept_v0, build_adept_v1
+        from repro.workloads.simcov import build_simcov_kernels
+
+        for module in (build_adept_v0(32, 48).module, build_adept_v1(64, 96).module,
+                       build_simcov_kernels().module):
+            report = verify_module(module)
+            assert report.ok
+
+
+class TestCfgAnalysis:
+    def test_cfg_edges(self):
+        func = _diamond_function()
+        graph = build_cfg(func)
+        assert set(graph.successors("entry")) == {"left", "right"}
+        assert set(graph.predecessors("merge")) == {"left", "right"}
+
+    def test_reachability(self):
+        func = _diamond_function()
+        func.add_block(BasicBlock("orphan")).append(Instruction("ret"))
+        assert "orphan" not in reachable_blocks(func)
+
+    def test_postdominator_of_diamond_is_merge(self):
+        ipdom = immediate_postdominators(_diamond_function())
+        assert ipdom["entry"] == "merge"
+        assert ipdom["left"] == "merge"
+        assert ipdom["merge"] is None
+
+    def test_postdominators_of_loop(self, axpy_kernel):
+        # axpy has an if-then structure: the branch block's ipdom is the merge.
+        ipdom = immediate_postdominators(axpy_kernel)
+        entry = axpy_kernel.entry_label
+        assert ipdom[entry] is not None
+
+    def test_collect_registers_includes_params_and_dests(self, axpy_kernel):
+        names = collect_registers(axpy_kernel)
+        assert "x" in names and "y" in names and "gid" in names
+
+    def test_collect_constants_deduplicates(self):
+        func = _diamond_function()
+        constants = collect_constants(func)
+        values = [const.value for const in constants]
+        assert len(values) == len(set(values))
+
+    def test_operand_pool_contains_regs_and_consts(self):
+        pool = collect_operand_pool(_diamond_function())
+        assert any(isinstance(value, Reg) for value in pool)
+        assert any(isinstance(value, Const) for value in pool)
+
+    def test_static_instruction_mix(self):
+        mix = static_instruction_mix(_diamond_function())
+        assert mix["control"] == 4
+        assert mix["cmp"] == 1

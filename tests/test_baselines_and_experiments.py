@@ -1,0 +1,68 @@
+"""Tests for the search baselines and the experiment registry."""
+
+import pytest
+
+from repro.baselines import HillClimber, RandomSearch
+from repro.experiments import ExperimentResult, available_experiments, get_experiment
+from repro.gevo import GevoConfig
+from repro.workloads import ToyWorkloadAdapter
+
+
+@pytest.fixture(scope="module")
+def toy_adapter():
+    return ToyWorkloadAdapter(elements=128)
+
+
+class TestBaselines:
+    def test_random_search_finds_something_or_stays_neutral(self, toy_adapter):
+        config = GevoConfig.quick(seed=31, population_size=8, generations=4)
+        result = RandomSearch(toy_adapter, config).run()
+        assert result.evaluations > 0
+        assert result.speedup >= 1.0 or result.best is None
+
+    def test_hill_climber_improves_toy_kernel(self, toy_adapter):
+        config = GevoConfig.quick(seed=32, population_size=8, generations=4)
+        result = HillClimber(toy_adapter, config).run(steps=40)
+        assert result.best.valid
+        assert result.speedup > 1.0
+        assert result.accepted_edits >= 1
+        assert result.accepted_edits + result.rejected_edits <= 40
+
+    def test_hill_climber_history_is_monotone(self, toy_adapter):
+        config = GevoConfig.quick(seed=33, population_size=8, generations=4)
+        result = HillClimber(toy_adapter, config).run(steps=25)
+        series = [value for value in result.history.best_fitness_series() if value is not None]
+        assert all(later <= earlier + 1e-12
+                   for earlier, later in zip(series, series[1:]))
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        expected = {"table1", "figure4", "figure5", "figure6", "figure7", "figure8",
+                    "ballot_sync", "boundary", "generality"}
+        assert expected <= set(available_experiments())
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("figure99")
+
+    def test_table1_rows(self):
+        result = get_experiment("table1")()
+        assert [row["GPU"] for row in result.rows] == ["P100", "1080Ti", "V100"]
+        assert "Table I" in result.to_table()
+
+    def test_experiment_result_table_rendering(self):
+        result = ExperimentResult("demo", "demo experiment")
+        result.add_row(name="a", value=1.23456)
+        result.add_row(name="bb", other="x")
+        text = result.to_table()
+        assert "demo experiment" in text
+        assert "1.235" in text
+        assert result.column_names() == ["name", "value", "other"]
+
+    def test_figure5_shape(self):
+        result = get_experiment("figure5")(architectures=["P100"])
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row["baseline_valid"] and row["gevo_valid"]
+        assert row["speedup"] > 1.05

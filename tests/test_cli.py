@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure4" in output and "table1" in output
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "V100" in output
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_single_architecture(self, capsys):
+        assert main(["run", "figure5", "--arch", "P100"]) == 0
+        output = capsys.readouterr().out
+        assert "P100" in output
+        # Only the requested GPU appears as a data row (the paper-reference
+        # note still mentions the others).
+        assert not any(line.startswith("1080Ti") for line in output.splitlines())
+
+    def test_search_toy_workload(self, capsys):
+        assert main(["search", "toy", "--population", "8", "--generations", "4",
+                     "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "best speedup" in output
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gevo import EditGenerator, apply_edits
+from repro.gpu import bank_conflicts, coalesced_transactions
+from repro.gpu.rng import counter_uniform
+from repro.ir import Const, Reg, as_value
+from repro.ir.parser import parse_instruction
+from repro.ir.printer import format_instruction
+from repro.ir.verifier import verify_module
+from repro.workloads import build_toy_kernel
+from repro.workloads.adept import ScoringScheme, alignment_score, wavefront_alignment_score
+
+# --------------------------------------------------------------------------- strategies
+dna = st.text(alphabet="ACGT", min_size=1, max_size=16)
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestRngProperties:
+    @given(seed=small_ints, step=small_ints, salt=small_ints)
+    def test_uniform_in_range_and_deterministic(self, seed, step, salt):
+        first = counter_uniform(seed, step, salt)
+        second = counter_uniform(seed, step, salt)
+        assert 0.0 <= float(first) < 1.0
+        assert float(first) == float(second)
+
+    @given(seed=small_ints, step=small_ints)
+    def test_different_salts_give_different_streams(self, seed, step):
+        values = counter_uniform(seed, step, np.arange(64))
+        assert len(np.unique(values)) > 32  # effectively no collisions
+
+
+class TestSmithWatermanProperties:
+    @given(a=dna, b=dna)
+    @settings(max_examples=30, deadline=None)
+    def test_score_bounds(self, a, b):
+        score = alignment_score(a, b)
+        assert 0 <= score <= 2 * min(len(a), len(b))
+
+    @given(a=dna, b=dna)
+    @settings(max_examples=20, deadline=None)
+    def test_symmetry(self, a, b):
+        assert alignment_score(a, b) == alignment_score(b, a)
+
+    @given(a=dna, b=dna)
+    @settings(max_examples=20, deadline=None)
+    def test_wavefront_equivalence(self, a, b):
+        assert wavefront_alignment_score(a, b) == alignment_score(a, b)
+
+    @given(a=dna)
+    @settings(max_examples=20, deadline=None)
+    def test_self_alignment_is_perfect(self, a):
+        assert alignment_score(a, a) == ScoringScheme().match * len(a)
+
+    @given(a=dna, b=dna, extra=dna)
+    @settings(max_examples=20, deadline=None)
+    def test_extending_a_sequence_never_lowers_the_score(self, a, b, extra):
+        assert alignment_score(a + extra, b) >= alignment_score(a, b)
+
+
+class TestMemoryModelProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=32))
+    def test_transactions_bounded_by_lanes(self, indices):
+        transactions = coalesced_transactions(np.array(indices))
+        assert 1 <= transactions <= len(indices)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=32))
+    def test_bank_conflicts_bounded(self, indices):
+        conflicts = bank_conflicts(np.array(indices))
+        assert 1 <= conflicts <= len(indices)
+
+    @given(st.integers(min_value=0, max_value=2 ** 20))
+    def test_single_access_is_one_transaction(self, index):
+        assert coalesced_transactions(np.array([index])) == 1
+
+
+class TestIrProperties:
+    @given(st.integers() | st.floats(allow_nan=False, allow_infinity=False)
+           | st.booleans() | st.text(alphabet="abcxyz", min_size=1, max_size=6))
+    def test_as_value_total_on_supported_inputs(self, raw):
+        value = as_value(raw)
+        assert isinstance(value, (Reg, Const))
+
+    @given(opcode=st.sampled_from(["add", "sub", "mul", "min", "max"]),
+           lhs=small_ints, rhs=small_ints)
+    def test_instruction_text_roundtrip(self, opcode, lhs, rhs):
+        from repro.ir import Instruction
+
+        inst = Instruction(opcode, dest="r", operands=[Const(lhs), Const(rhs)])
+        assert parse_instruction(format_instruction(inst)).operands == inst.operands
+
+
+class TestEditRobustness:
+    """Random edit lists never corrupt the module's structural invariants.
+
+    This mirrors the paper's observation that GEVO variants remain
+    *executable* (they may be semantically wrong and fail tests, but the
+    program structure survives thousands of mutations).
+    """
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           count=st.integers(min_value=1, max_value=25))
+    @settings(max_examples=25, deadline=None)
+    def test_random_edit_lists_preserve_structure(self, seed, count):
+        kernel = build_toy_kernel()
+        generator = EditGenerator(kernel.module, random.Random(seed))
+        edits = [edit for edit in (generator.random_edit() for _ in range(count))
+                 if edit is not None]
+        applied = apply_edits(kernel.module, edits)
+        report = verify_module(applied.module, raise_on_error=False)
+        assert not report.errors
+        # Terminators are pinned: every block still ends with one.
+        for function in applied.module.functions.values():
+            for block in function.blocks.values():
+                assert block.instructions, "blocks never become empty"
+                assert block.instructions[-1].is_terminator
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_edit_application_is_reproducible(self, seed):
+        kernel = build_toy_kernel()
+        generator = EditGenerator(kernel.module, random.Random(seed))
+        edits = [edit for edit in (generator.random_edit() for _ in range(10))
+                 if edit is not None]
+        first = apply_edits(kernel.module, edits)
+        second = apply_edits(kernel.module, edits)
+        first_ops = [inst.opcode for inst in first.module.instructions()]
+        second_ops = [inst.opcode for inst in second.module.instructions()]
+        assert first_ops == second_ops

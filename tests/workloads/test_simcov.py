@@ -1,0 +1,191 @@
+"""Tests for the SIMCoV reference model, GPU kernels and recorded edits."""
+
+import numpy as np
+import pytest
+
+from repro.gevo import apply_edits
+from repro.ir import static_instruction_mix
+from repro.workloads.simcov import (
+    DEAD,
+    EXPRESSING,
+    HEALTHY,
+    INCUBATING,
+    SimCovParams,
+    SimCovState,
+    boundary_check_removal_edits,
+    build_padded_spread_kernel,
+    build_simcov_kernels,
+    diffuse,
+    redundant_load_removal_edits,
+    run_padded_spread,
+    run_reference,
+    simcov_discovered_edits,
+    states_close,
+    summaries_close,
+)
+
+
+class TestParamsAndState:
+    def test_default_infection_sites_inside_grid(self):
+        params = SimCovParams(width=10, height=10)
+        assert all(0 <= cell < params.cells for cell in params.infection_cells())
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SimCovParams(width=2, height=2)
+        with pytest.raises(ValueError):
+            SimCovParams(steps=0)
+        with pytest.raises(ValueError):
+            SimCovParams(initial_infections=((100, 100),))
+
+    def test_initial_state_has_virions_at_sites(self):
+        params = SimCovParams.quick()
+        state = SimCovState.initial(params)
+        assert state.virions.sum() == pytest.approx(
+            params.initial_virions * len(set(params.infection_cells())))
+        assert (state.epithelial == HEALTHY).all()
+
+    def test_grid_view_shape(self):
+        params = SimCovParams(width=6, height=4)
+        state = SimCovState.initial(params)
+        assert state.grid("virions").shape == (4, 6)
+
+    def test_summary_counts_cells(self):
+        params = SimCovParams.quick()
+        summary = SimCovState.initial(params).summary()
+        assert summary["healthy"] == params.cells
+
+
+class TestReferenceModel:
+    def test_infection_spreads_over_time(self):
+        params = SimCovParams(width=12, height=12, steps=8)
+        final = run_reference(params)
+        summary = final.summary()
+        assert summary["healthy"] < params.cells
+        assert summary["total_virions"] > 0
+
+    def test_diffusion_conserves_mass_without_decay(self):
+        field = np.zeros(16)
+        field[5] = 8.0
+        spread = diffuse(field, 4, 4, diffusion=0.2, decay=0.0)
+        assert spread.sum() == pytest.approx(8.0)
+        assert spread.max() < 8.0
+
+    def test_diffusion_decay_reduces_mass(self):
+        field = np.full(16, 1.0)
+        spread = diffuse(field, 4, 4, diffusion=0.1, decay=0.5)
+        assert spread.sum() < field.sum()
+
+    def test_reference_is_deterministic(self):
+        params = SimCovParams.quick(seed=5)
+        first = run_reference(params)
+        second = run_reference(params)
+        np.testing.assert_array_equal(first.virions, second.virions)
+        np.testing.assert_array_equal(first.tcells, second.tcells)
+
+    def test_different_seed_changes_tcells(self):
+        base = SimCovParams(width=12, height=12, steps=8, seed=1,
+                            chemokine_extravasate_threshold=0.0)
+        other = base.with_(seed=2)
+        assert run_reference(base).summary() != run_reference(other).summary()
+
+    def test_epithelial_state_machine_progresses(self):
+        params = SimCovParams(width=8, height=8, steps=6, incubation_period=1,
+                              apoptosis_period=1)
+        final = run_reference(params)
+        states = set(np.unique(final.epithelial).astype(int))
+        assert INCUBATING in states or EXPRESSING in states or DEAD in states
+
+
+class TestValidationMetrics:
+    def test_identical_states_are_close(self):
+        params = SimCovParams.quick()
+        state = run_reference(params)
+        ok, report = states_close(state, state.copy())
+        assert ok and all(value == 0 for value in report.values())
+
+    def test_gross_difference_is_rejected(self):
+        params = SimCovParams.quick()
+        state = run_reference(params)
+        broken = state.copy()
+        broken.virions[:] = 0.0
+        ok, _ = states_close(broken, state)
+        assert not ok
+
+    def test_summaries_close_tolerance(self):
+        params = SimCovParams.quick()
+        summary = run_reference(params).summary()
+        assert summaries_close(dict(summary), summary)
+        off = dict(summary)
+        off["total_virions"] *= 2.0
+        assert not summaries_close(off, summary)
+
+
+class TestSimCovGpu:
+    def test_gpu_matches_reference_exactly_on_quick_grid(self, simcov_adapter):
+        baseline = simcov_adapter.baseline()
+        assert baseline.valid, baseline.cases[0].message
+
+    def test_kernel_module_has_eight_kernels(self):
+        kernels = build_simcov_kernels()
+        assert len(kernels.kernel_names()) == 8
+
+    def test_boundary_logic_is_large_instruction_share(self):
+        """Paper: ~31% of the diffusion kernel's instructions are boundary logic."""
+        kernels = build_simcov_kernels()
+        spread = kernels.module.get_function("simcov_spread_virions")
+        mix = static_instruction_mix(spread)
+        boundary_targets = kernels.edit_targets["simcov_spread_virions"]
+        boundary_instructions = sum(1 for name in boundary_targets if "branch" not in name)
+        assert boundary_instructions / spread.instruction_count() > 0.25
+
+    def test_discovered_edits_speed_up_and_validate_on_fitness_grid(self, simcov_adapter):
+        adapter = simcov_adapter
+        baseline = adapter.baseline()
+        edits = simcov_discovered_edits(adapter.kernels)
+        optimized = adapter.evaluate(apply_edits(adapter.original_module(), edits).module)
+        assert optimized.valid
+        assert baseline.runtime_ms / optimized.runtime_ms > 1.1
+
+    def test_boundary_removal_faults_on_heldout_grid(self, simcov_adapter):
+        adapter = simcov_adapter
+        module = apply_edits(adapter.original_module(),
+                             boundary_check_removal_edits(adapter.kernels)).module
+        heldout = adapter.validate(module)
+        assert not heldout.valid
+        assert "memory" in heldout.cases[0].message.lower()
+
+    def test_baseline_passes_heldout_grid(self, simcov_adapter):
+        heldout = simcov_adapter.validate(simcov_adapter.original_module())
+        assert heldout.valid
+
+    def test_redundant_load_removal_is_safe_everywhere(self, simcov_adapter):
+        adapter = simcov_adapter
+        module = apply_edits(adapter.original_module(),
+                             redundant_load_removal_edits(adapter.kernels)).module
+        assert adapter.evaluate(module).valid
+        assert adapter.validate(module).valid
+
+
+class TestPaddedSpread:
+    def test_padded_kernel_matches_reference_diffusion(self, simcov_adapter):
+        params = simcov_adapter.fitness_params
+        state = run_reference(params)
+        device = simcov_adapter.driver.device
+        result = run_padded_spread(device, params, state.virions,
+                                   params.virion_diffusion, params.virion_decay)
+        expected = diffuse(state.virions, params.width, params.height,
+                           params.virion_diffusion, params.virion_decay)
+        # Zero padding treats missing neighbours as zero-valued cells, which
+        # differs from the checked kernel only at the border.
+        interior = np.ones((params.height, params.width), dtype=bool)
+        interior[0, :] = interior[-1, :] = interior[:, 0] = interior[:, -1] = False
+        np.testing.assert_allclose(
+            result.field_next.reshape(params.height, params.width)[interior],
+            expected.reshape(params.height, params.width)[interior])
+
+    def test_padded_kernel_builds_and_verifies(self):
+        from repro.ir import verify_module
+
+        module = build_padded_spread_kernel()
+        assert verify_module(module).ok

@@ -1,0 +1,130 @@
+"""Tests for the CPU Smith-Waterman reference and the sequence generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.adept import (
+    ScoringScheme,
+    SequencePair,
+    alignment_end_position,
+    alignment_score,
+    batch_alignment_scores,
+    encode_batch,
+    encode_sequence,
+    fitness_pairs,
+    generate_pairs,
+    heldout_pairs,
+    mutate_sequence,
+    random_sequence,
+    score_matrix,
+    search_pairs,
+    traceback,
+    wavefront_alignment_score,
+)
+
+
+class TestSmithWaterman:
+    def test_paper_figure2_example(self):
+        """Figure 2 of the paper: ATGCT vs AGCT aligns with score 7."""
+        assert alignment_score("ATGCT", "AGCT") == 7
+
+    def test_figure2_matrix_values(self):
+        matrix = score_matrix("ATGCT", "AGCT")
+        # Row/column conventions: matrix[i][j] for prefix lengths i of ATGCT, j of AGCT.
+        assert matrix[1, 1] == 2      # A-A match
+        assert matrix.max() == 7
+
+    def test_identical_sequences_score(self):
+        assert alignment_score("ACGT", "ACGT") == 8  # 4 matches x +2
+
+    def test_disjoint_sequences_score_low(self):
+        assert alignment_score("AAAA", "TTTT") in (0, 2)
+
+    def test_empty_behaviour(self):
+        assert alignment_score("", "ACGT") == 0
+
+    def test_symmetry(self):
+        first, second = "ACGTACGGT", "ACGGTT"
+        assert alignment_score(first, second) == alignment_score(second, first)
+
+    def test_scores_are_non_negative_and_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            a = random_sequence(20, rng)
+            b = random_sequence(15, rng)
+            score = alignment_score(a, b)
+            assert 0 <= score <= 2 * min(len(a), len(b))
+
+    def test_wavefront_matches_classic(self):
+        rng = np.random.default_rng(1)
+        for _ in range(6):
+            a = random_sequence(int(rng.integers(5, 30)), rng)
+            b = random_sequence(int(rng.integers(5, 30)), rng)
+            assert wavefront_alignment_score(a, b) == alignment_score(a, b)
+
+    def test_traceback_alignment_is_consistent(self):
+        aligned_a, aligned_b = traceback("ATGCT", "AGCT")
+        assert len(aligned_a) == len(aligned_b)
+        assert aligned_a.replace("-", "") in "ATGCT"
+
+    def test_end_position_is_matrix_argmax(self):
+        row, col = alignment_end_position("ATGCT", "AGCT")
+        matrix = score_matrix("ATGCT", "AGCT")
+        assert matrix[row, col] == matrix.max()
+
+    def test_custom_scoring_scheme(self):
+        generous = ScoringScheme(match=5, mismatch=-1, gap=-1)
+        assert alignment_score("ACGT", "ACGT", generous) == 20
+
+    def test_batch_scores_accept_pairs_and_tuples(self):
+        pairs = [SequencePair("ACGT", "ACG"), ("ACGT", "ACG")]
+        scores = batch_alignment_scores(pairs)
+        assert scores[0] == scores[1]
+
+
+class TestSequences:
+    def test_random_sequence_alphabet_and_length(self):
+        rng = np.random.default_rng(2)
+        sequence = random_sequence(50, rng)
+        assert len(sequence) == 50
+        assert set(sequence) <= set("ACGT")
+
+    def test_generation_is_deterministic_by_seed(self):
+        assert generate_pairs(3, 20, 12, seed=9) == generate_pairs(3, 20, 12, seed=9)
+        assert generate_pairs(3, 20, 12, seed=9) != generate_pairs(3, 20, 12, seed=10)
+
+    def test_mutate_sequence_stays_on_alphabet(self):
+        rng = np.random.default_rng(3)
+        mutated = mutate_sequence("ACGTACGTACGT", rng)
+        assert set(mutated) <= set("ACGT")
+
+    def test_related_pairs_score_higher_than_random(self):
+        related = generate_pairs(4, 40, 30, seed=4, related_fraction=1.0)
+        unrelated = generate_pairs(4, 40, 30, seed=4, related_fraction=0.0)
+        assert batch_alignment_scores(related).mean() > batch_alignment_scores(unrelated).mean()
+
+    def test_encode_sequence_values(self):
+        np.testing.assert_array_equal(encode_sequence("ACGT"), [0, 1, 2, 3])
+
+    def test_encode_batch_layout(self):
+        pairs = [SequencePair("ACGT", "AC"), SequencePair("GGG", "TTTT")]
+        batch = encode_batch(pairs)
+        assert batch.pair_count == 2
+        assert batch.offsets_a.tolist() == [0, 4]
+        assert batch.offsets_b.tolist() == [0, 2]
+        assert batch.lengths_b.tolist() == [2, 4]
+        assert batch.max_query_length == 4
+        assert batch.seq_a.shape[0] == 7
+
+    def test_standard_pair_sets_have_both_regimes(self):
+        for pairs in (fitness_pairs(), search_pairs()):
+            lengths = [len(pair.query) for pair in pairs]
+            assert any(length <= 32 for length in lengths)
+            assert any(length > 32 for length in lengths)
+        assert len(heldout_pairs()) >= 8
+
+    def test_invalid_sequence_pair_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair("ACGT", "")
+        with pytest.raises(ValueError):
+            SequencePair("ACGT", "ACBX")
