@@ -10,6 +10,8 @@ The package is organised as:
 * :mod:`repro.workloads` -- the ADEPT and SIMCoV applications.
 * :mod:`repro.baselines` -- non-evolutionary search baselines.
 * :mod:`repro.experiments` -- one module per paper table / figure.
+* :mod:`repro.runtime` -- the evaluation runtime: process-pool execution,
+  persistent fitness cache, search checkpoint/resume.
 """
 
 from .errors import (

@@ -57,18 +57,26 @@ class EpistasisResult:
 
 def separate_edits(adapter: WorkloadAdapter, edits: Sequence[Edit],
                    agreement_tolerance: float = 0.35,
-                   evaluator: Optional[EditSetEvaluator] = None) -> EpistasisResult:
+                   evaluator: Optional[EditSetEvaluator] = None,
+                   engine=None) -> EpistasisResult:
     """Run Algorithm 2 over *edits*.
 
     ``agreement_tolerance`` is the relative slack allowed between an edit's
     isolated improvement (``PerfIncr``) and its in-context contribution
     (``PerfDecr``) before the edit is declared epistatic.
+
+    Pass *engine* to share a fitness cache with the other analyses.  Each
+    edit's singleton evaluation (``PerfIncr``, and the fail-alone test) is
+    independent of the loop's accumulated state, so the singletons are
+    evaluated as one concurrent wave up front.
     """
-    evaluator = evaluator or EditSetEvaluator(adapter, edits)
+    evaluator = evaluator or EditSetEvaluator(adapter, edits, engine=engine)
     all_edits = list(edits)
     independent: List[Edit] = []
     baseline = evaluator.baseline_fitness()
     full_runtime = evaluator.fitness(all_edits)
+    # Singleton wave: f({e}) for every edit, in one batch.
+    evaluator.results([[edit] for edit in all_edits])
 
     for edit in all_edits:
         if evaluator.fails([edit]):

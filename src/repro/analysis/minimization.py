@@ -56,7 +56,8 @@ class MinimizationResult:
 
 def identify_weak_edits(adapter: WorkloadAdapter, edits: Sequence[Edit],
                         threshold: float = 0.01,
-                        evaluator: Optional[EditSetEvaluator] = None) -> MinimizationResult:
+                        evaluator: Optional[EditSetEvaluator] = None,
+                        engine=None) -> MinimizationResult:
     """Run Algorithm 1 over *edits*.
 
     For each edit ``e`` (in order), compare the fitness of the current
@@ -64,8 +65,16 @@ def identify_weak_edits(adapter: WorkloadAdapter, edits: Sequence[Edit],
     *threshold*, ``e`` is weak and permanently removed from the working set
     before the next edit is examined (exactly the ``S - weaks`` bookkeeping
     of the paper's pseudo-code).
+
+    Pass *engine* (an :class:`~repro.runtime.engine.EvaluationEngine`) to
+    share a fitness cache with other analyses over the same workload.
+    The walk itself is inherently sequential -- each step's leave-one-out
+    set depends on which earlier edits turned out weak -- so this
+    algorithm gains from the engine's cache, not from its parallelism,
+    and its reported ``evaluations`` count is identical under any
+    executor.
     """
-    evaluator = evaluator or EditSetEvaluator(adapter, edits)
+    evaluator = evaluator or EditSetEvaluator(adapter, edits, engine=engine)
     working: List[Edit] = list(edits)
     weak: List[Edit] = []
     baseline = evaluator.baseline_fitness()

@@ -44,11 +44,11 @@ class HillClimbResult:
 class HillClimber:
     """Greedy first-improvement search over single-edit mutations."""
 
-    def __init__(self, adapter: WorkloadAdapter, config: GevoConfig):
+    def __init__(self, adapter: WorkloadAdapter, config: GevoConfig, *, engine=None):
         self.adapter = adapter
         self.config = config
         self.rng = random.Random(config.seed)
-        self.evaluator = GenomeEvaluator(adapter)
+        self.evaluator = GenomeEvaluator(adapter, engine=engine)
         self.generator = EditGenerator(self.evaluator.original, self.rng,
                                        weights=config.edit_weights)
 

@@ -43,12 +43,12 @@ class RandomSearch:
     """Samples random edit lists under a GEVO-equivalent evaluation budget."""
 
     def __init__(self, adapter: WorkloadAdapter, config: GevoConfig,
-                 max_edits_per_individual: int = 8):
+                 max_edits_per_individual: int = 8, *, engine=None):
         self.adapter = adapter
         self.config = config
         self.max_edits_per_individual = max_edits_per_individual
         self.rng = random.Random(config.seed)
-        self.evaluator = GenomeEvaluator(adapter)
+        self.evaluator = GenomeEvaluator(adapter, engine=engine)
         self.generator = EditGenerator(self.evaluator.original, self.rng,
                                        weights=config.edit_weights)
 
@@ -74,8 +74,8 @@ class RandomSearch:
         while evaluated < budget:
             batch = [self._random_individual()
                      for _ in range(min(generation_size, budget - evaluated))]
-            for individual in batch:
-                self.evaluator.evaluate_individual(individual)
+            # One concurrent wave per batch (parallel under a pool-backed engine).
+            self.evaluator.evaluate_population(batch)
             evaluated += len(batch)
             generation += 1
             for individual in batch:

@@ -7,6 +7,16 @@ Two sub-commands are provided::
     python -m repro.cli run figure5 --arch P100  # restrict to one GPU where supported
     python -m repro.cli search toy --generations 8   # run a small live GEVO search
 
+Searches run through the evaluation runtime (:mod:`repro.runtime`):
+
+* ``--jobs N`` evaluates each generation across a pool of N worker
+  processes (``--jobs 0`` = one per core);
+* ``--cache PATH`` persists the fitness cache to a JSON file, so
+  re-running the same search re-simulates nothing it has seen before;
+* ``--resume PATH`` checkpoints the search to PATH after every
+  generation and, when PATH already exists, resumes from it instead of
+  starting over.
+
 The experiment identifiers match DESIGN.md / EXPERIMENTS.md and the
 benchmark harness, so the CLI is simply another front end over
 :mod:`repro.experiments`.
@@ -15,12 +25,15 @@ benchmark harness, so the CLI is simply another front end over
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from .errors import SearchError
 from .experiments import available_experiments, get_experiment
 from .gevo import GevoConfig, GevoSearch
 from .gpu import EVALUATION_ORDER, get_arch
+from .runtime import EvaluationEngine, FitnessCache, SearchCheckpoint, make_executor
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,6 +58,19 @@ def _build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--population", type=int, default=12)
     search_parser.add_argument("--generations", type=int, default=8)
     search_parser.add_argument("--seed", type=int, default=0)
+    search_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="evaluate each generation across N worker processes (0 = all cores)")
+    search_parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persist the fitness cache to PATH (JSON); re-runs hit the warm cache")
+    search_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="checkpoint the search to PATH every generation; if PATH exists, "
+             "resume from it instead of starting over")
+    search_parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="G",
+        help="with --resume, write the checkpoint every G generations (default 1)")
     return parser
 
 
@@ -94,11 +120,36 @@ def _command_search(arguments: argparse.Namespace) -> int:
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
+    engine = EvaluationEngine(adapter,
+                              executor=make_executor(arguments.jobs),
+                              cache=FitnessCache(arguments.cache))
+
+    resume_from = None
+    if arguments.resume is not None and os.path.exists(arguments.resume):
+        resume_from = SearchCheckpoint.load(arguments.resume)
+        print(f"resuming from {arguments.resume} "
+              f"(generation {resume_from.generation}, "
+              f"{len(resume_from.cache_entries)} cached fitness results)")
+        restored = resume_from.restore_config()
+        if restored != config:
+            print("note: resuming with the checkpoint's configuration; "
+                  "--population/--generations/--seed flags are ignored")
+        config = restored
+
     print(f"searching {adapter.name}: population={config.population_size}, "
-          f"generations={config.generations}")
-    result = GevoSearch(adapter, config).run(validate_best=True)
+          f"generations={config.generations}, executor={engine.executor.name}")
+    try:
+        result = GevoSearch(adapter, config, engine=engine).run(
+            validate_best=True,
+            checkpoint_path=arguments.resume,
+            checkpoint_every=arguments.checkpoint_every,
+            resume_from=resume_from,
+        )
+    finally:
+        engine.close()
     print(f"best speedup: {result.speedup:.3f}x with {len(result.best_edits())} edits "
           f"({result.evaluations} evaluations, {result.wall_clock_seconds:.1f}s)")
+    print(f"runtime: {engine.stats().summary()}")
     if result.validation is not None:
         print(f"held-out validation: {'pass' if result.validation.valid else 'FAIL'}")
     for edit in result.best_edits():
@@ -113,7 +164,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if arguments.command == "run":
         return _command_run(arguments)
-    return _command_search(arguments)
+    try:
+        return _command_search(arguments)
+    except SearchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

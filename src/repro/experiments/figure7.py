@@ -18,6 +18,7 @@ from ..analysis import (
     separate_edits,
 )
 from ..gpu import get_arch
+from ..runtime import EvaluationEngine, make_executor
 from ..workloads.adept import (
     AdeptWorkloadAdapter,
     adept_v1_discovered_edits,
@@ -28,8 +29,16 @@ from .registry import ExperimentResult, register
 
 @register("figure7")
 def figure7(arch_name: str = "P100",
-            adapter: Optional[AdeptWorkloadAdapter] = None) -> ExperimentResult:
-    """Reproduce Figure 7 / Section V for ADEPT-V1 on one GPU."""
+            adapter: Optional[AdeptWorkloadAdapter] = None,
+            jobs: int = 1) -> ExperimentResult:
+    """Reproduce Figure 7 / Section V for ADEPT-V1 on one GPU.
+
+    All three stages (Algorithm 1, Algorithm 2, subset sweep) share one
+    evaluation engine, so edit-sets revisited across stages -- the
+    baseline, the full set, the singletons -- are simulated exactly once;
+    ``jobs > 1`` additionally evaluates each batched wave across a
+    process pool.
+    """
     adapter = adapter or AdeptWorkloadAdapter("v1", get_arch(arch_name))
     kernel = adapter.kernel
     all_edits = adept_v1_discovered_edits(kernel)
@@ -40,23 +49,24 @@ def figure7(arch_name: str = "P100",
         description="Edit minimization, independence and the epistatic cluster of ADEPT-V1",
     )
 
-    minimization = identify_weak_edits(adapter, all_edits)
-    result.add_row(stage="Algorithm 1 (minimization)",
-                   edits_in=len(all_edits),
-                   edits_out=len(minimization.significant),
-                   improvement_full=minimization.full_improvement,
-                   improvement_minimized=minimization.minimized_improvement)
+    with EvaluationEngine(adapter, executor=make_executor(jobs)) as engine:
+        minimization = identify_weak_edits(adapter, all_edits, engine=engine)
+        result.add_row(stage="Algorithm 1 (minimization)",
+                       edits_in=len(all_edits),
+                       edits_out=len(minimization.significant),
+                       improvement_full=minimization.full_improvement,
+                       improvement_minimized=minimization.minimized_improvement)
 
-    separation = separate_edits(adapter, minimization.significant)
-    result.add_row(stage="Algorithm 2 (independence)",
-                   independent=len(separation.independent),
-                   epistatic=len(separation.epistatic),
-                   independent_improvement=separation.independent_improvement,
-                   epistatic_improvement=separation.epistatic_improvement)
+        separation = separate_edits(adapter, minimization.significant, engine=engine)
+        result.add_row(stage="Algorithm 2 (independence)",
+                       independent=len(separation.independent),
+                       epistatic=len(separation.epistatic),
+                       independent_improvement=separation.independent_improvement,
+                       epistatic_improvement=separation.epistatic_improvement)
 
-    labels = [f"edit{index}" for index in epistatic_cluster]
-    analysis = exhaustive_subset_analysis(adapter, list(epistatic_cluster.values()),
-                                          labels=labels)
+        labels = [f"edit{index}" for index in epistatic_cluster]
+        analysis = exhaustive_subset_analysis(adapter, list(epistatic_cluster.values()),
+                                              labels=labels, engine=engine)
     report = figure7_report(analysis)
     for outcome in sorted(analysis.outcomes, key=lambda o: (o.size, o.labels)):
         result.add_row(stage="subset", subset="+".join(outcome.labels),

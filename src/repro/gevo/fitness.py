@@ -9,11 +9,20 @@ from the fitness calculation (Section III-E).  The pieces here are:
   user's own kernel) implements so GEVO, the baselines and the analysis
   algorithms can all drive it.
 * :class:`GenomeEvaluator` -- applies a genome to the original module and
-  runs the adapter's fitness tests, memoising results by edit-key so
-  repeated evaluations of identical genomes (common under elitism) are free.
+  runs the adapter's fitness tests, memoising results by canonical
+  (order-insensitive) edit-set key so repeated evaluations of identical
+  genomes (common under elitism) are free.
 * :class:`EditSetEvaluator` -- the ``f(S)`` function of Algorithms 1 and 2,
   evaluating arbitrary *sets* of edits with caching; used by the
   minimization and epistasis analyses.
+
+Both evaluators route every evaluation through a
+:class:`repro.runtime.engine.EvaluationEngine`, which owns the cache
+(shared canonical keys with :mod:`repro.runtime.cache`, optionally
+disk-persisted) and the execution strategy (serial or process-pool).  By
+default each evaluator builds its own serial in-memory engine, so the
+historical single-threaded behaviour is unchanged; pass ``engine=`` to
+share a cache across evaluators or to evaluate in parallel.
 """
 
 from __future__ import annotations
@@ -21,11 +30,11 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from ..ir.function import Module
 from .edits import Edit
-from .genome import Individual, apply_edits
+from .genome import Individual
 
 
 @dataclass
@@ -94,43 +103,73 @@ class WorkloadAdapter(abc.ABC):
         return self.evaluate(self.original_module())
 
 
-class GenomeEvaluator:
-    """Evaluates individuals against a workload adapter with memoisation."""
+def _default_engine(adapter: WorkloadAdapter):
+    # Imported lazily: repro.runtime builds on the types defined above.
+    from ..runtime.engine import EvaluationEngine
 
-    def __init__(self, adapter: WorkloadAdapter):
+    return EvaluationEngine(adapter)
+
+
+class GenomeEvaluator:
+    """Evaluates individuals against a workload adapter with memoisation.
+
+    Evaluation flows through an :class:`~repro.runtime.engine.EvaluationEngine`
+    whose cache key is *canonical* -- order-insensitive over the edit
+    multiset -- so permuted but identical edit lists share one entry.  The
+    ``evaluations`` / ``cache_hits`` counters report this evaluator's own
+    activity even when the engine is shared with other evaluators.
+
+    Contract: a variant's identity is its edit **multiset**, following the
+    paper's set-based ``f(S)`` treatment (the seed's ``EditSetEvaluator``
+    already keyed by frozen edit-key set).  In the rare case where two
+    orderings of the same multiset replay to different programs (tolerant
+    skipping makes ``apply_edits`` order-sensitive when edits interact),
+    the first ordering evaluated defines the cached fitness for all of
+    them; ``validate_best`` style replays of a specific individual's edit
+    list still use that individual's true order, so a divergent variant
+    surfaces as a validation failure rather than silently shipping.
+    """
+
+    def __init__(self, adapter: WorkloadAdapter, *, engine=None):
         self.adapter = adapter
-        self._original = adapter.original_module()
-        self._cache: Dict[Tuple, FitnessResult] = {}
-        self.evaluations = 0
-        self.cache_hits = 0
+        self.engine = engine if engine is not None else _default_engine(adapter)
+        self._original = self.engine.original
+        self._evaluations_offset = self.engine.evaluations
+        self._hits_offset = self.engine.cache_hits
 
     @property
     def original(self) -> Module:
         return self._original
 
+    @property
+    def evaluations(self) -> int:
+        """Adapter evaluations actually executed on this evaluator's behalf."""
+        return self.engine.evaluations - self._evaluations_offset
+
+    @property
+    def cache_hits(self) -> int:
+        return self.engine.cache_hits - self._hits_offset
+
     def evaluate_individual(self, individual: Individual) -> FitnessResult:
         """Evaluate *individual*, filling in its fitness/validity fields."""
-        key = individual.edit_keys()
-        result = self._cache.get(key)
-        if result is None:
-            result = self.evaluate_edits(individual.edits)
-            self._cache[key] = result
-        else:
-            self.cache_hits += 1
+        result = self.engine.evaluate(individual.edits)
         individual.mark_evaluated(
             result.runtime_ms if result.valid else None, result.valid)
         return result
 
     def evaluate_edits(self, edits: Sequence[Edit]) -> FitnessResult:
-        """Apply *edits* to a clone of the original and run the fitness tests."""
-        self.evaluations += 1
-        applied = apply_edits(self._original, edits)
-        return self.adapter.evaluate(applied.module)
+        """Evaluate one edit list (through the engine's cache)."""
+        return self.engine.evaluate(edits)
 
     def evaluate_population(self, population: Sequence[Individual]) -> None:
-        for individual in population:
-            if individual.needs_evaluation():
-                self.evaluate_individual(individual)
+        """Evaluate every unevaluated individual as one concurrent batch."""
+        pending = [ind for ind in population if ind.needs_evaluation()]
+        if not pending:
+            return
+        results = self.engine.evaluate_many([ind.edits for ind in pending])
+        for individual, result in zip(pending, results):
+            individual.mark_evaluated(
+                result.runtime_ms if result.valid else None, result.valid)
 
 
 class EditSetEvaluator:
@@ -142,12 +181,18 @@ class EditSetEvaluator:
     milliseconds or ``math.inf`` when the variant fails its tests.
     """
 
-    def __init__(self, adapter: WorkloadAdapter, universe: Sequence[Edit]):
+    def __init__(self, adapter: WorkloadAdapter, universe: Sequence[Edit], *,
+                 engine=None):
         self.adapter = adapter
         self.universe = list(universe)
-        self._original = adapter.original_module()
-        self._cache: Dict[FrozenSet, FitnessResult] = {}
-        self.evaluations = 0
+        self.engine = engine if engine is not None else _default_engine(adapter)
+        self._original = self.engine.original
+        self._evaluations_offset = self.engine.evaluations
+
+    @property
+    def evaluations(self) -> int:
+        """Adapter evaluations actually executed on this evaluator's behalf."""
+        return self.engine.evaluations - self._evaluations_offset
 
     def _ordered_subset(self, edits: Sequence[Edit]) -> List[Edit]:
         wanted = {edit.key() for edit in edits}
@@ -159,15 +204,12 @@ class EditSetEvaluator:
         return ordered
 
     def result(self, edits: Sequence[Edit]) -> FitnessResult:
-        key = frozenset(edit.key() for edit in edits)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        self.evaluations += 1
-        applied = apply_edits(self._original, self._ordered_subset(edits))
-        result = self.adapter.evaluate(applied.module)
-        self._cache[key] = result
-        return result
+        return self.engine.evaluate(self._ordered_subset(edits))
+
+    def results(self, edit_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
+        """Evaluate many subsets as one concurrent wave (input order preserved)."""
+        return self.engine.evaluate_many(
+            [self._ordered_subset(edits) for edits in edit_sets])
 
     def fitness(self, edits: Sequence[Edit]) -> float:
         """``f(S)``: mean runtime (ms) of the program with *edits* applied."""

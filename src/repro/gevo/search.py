@@ -6,6 +6,15 @@ selection of parents, crossover with the configured probability, and
 per-individual mutation.  The loop matches the description in Sections
 II-A and III-E of the paper; runtime is the fitness, invalid variants
 (failed test cases or kernel traps) never reproduce preferentially.
+
+Fitness evaluation routes through the evaluation runtime
+(:mod:`repro.runtime`): each generation is submitted as one batch, so an
+engine with a process-pool executor evaluates the whole population
+concurrently.  Long searches can be checkpointed after every generation
+(``checkpoint_path=``) and resumed exactly -- population, RNG state,
+history and fitness-cache contents are all restored, so a resumed run
+reproduces the uninterrupted one bit-for-bit and never re-simulates a
+variant evaluated before the interruption.
 """
 
 from __future__ import annotations
@@ -13,8 +22,8 @@ from __future__ import annotations
 import math
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
 
 from ..errors import SearchError
 from .config import GevoConfig
@@ -55,35 +64,72 @@ class GevoSearch:
 
     def __init__(self, adapter: WorkloadAdapter, config: GevoConfig,
                  *, progress: Optional[Callable[[int, SearchHistory], None]] = None,
-                 candidate_edits=None, candidate_probability: float = 0.0):
+                 candidate_edits=None, candidate_probability: float = 0.0,
+                 engine=None):
         self.adapter = adapter
         self.config = config
         self.progress = progress
         self.rng = random.Random(config.seed)
-        self.evaluator = GenomeEvaluator(adapter)
+        self.evaluator = GenomeEvaluator(adapter, engine=engine)
         self.generator = EditGenerator(self.evaluator.original, self.rng,
                                        weights=config.edit_weights,
                                        candidate_edits=candidate_edits,
                                        candidate_probability=candidate_probability)
 
     # -- main loop -----------------------------------------------------------------------
-    def run(self, *, validate_best: bool = False) -> SearchResult:
-        """Run the configured number of generations and return the result."""
+    def run(self, *, validate_best: bool = False,
+            checkpoint_path: Optional[str] = None,
+            checkpoint_every: int = 1,
+            resume_from: Optional[Union[str, "SearchCheckpoint"]] = None) -> SearchResult:
+        """Run the configured number of generations and return the result.
+
+        With ``checkpoint_path`` the full search state is written there
+        every ``checkpoint_every`` generations; ``resume_from`` (a path or
+        a loaded :class:`~repro.runtime.checkpoint.SearchCheckpoint`)
+        continues an interrupted run from its last checkpoint instead of
+        starting fresh.
+        """
+        from ..runtime.checkpoint import SearchCheckpoint
+
         config = self.config
+        engine = self.evaluator.engine
         start = time.perf_counter()
-        baseline = self.adapter.baseline()
-        if not baseline.valid:
-            raise SearchError(
-                f"the unmodified program of workload {self.adapter.name!r} fails its own "
-                "test cases; fix the workload before searching")
-        history = SearchHistory(baseline_runtime=baseline.runtime_ms)
-
-        population = seed_population(config.population_size)
-        self.evaluator.evaluate_population(population)
-        best_so_far = best_individual(population)
+        evaluations_before_resume = 0
         stagnation = 0
+        start_generation = 0
 
-        for generation in range(1, config.generations + 1):
+        if resume_from is not None:
+            checkpoint = (SearchCheckpoint.load(resume_from)
+                          if isinstance(resume_from, str) else resume_from)
+            if checkpoint.restore_config() != config:
+                raise SearchError(
+                    "checkpoint was recorded with a different GevoConfig; resume with "
+                    "the original configuration (or start a fresh search)")
+            if checkpoint.workload_id != engine.workload_id:
+                raise SearchError(
+                    f"checkpoint belongs to workload {checkpoint.workload_id!r}, "
+                    f"not {engine.workload_id!r}")
+            engine.cache.import_entries(checkpoint.cache_entries)
+            history = checkpoint.restore_history()
+            population = checkpoint.restore_population()
+            best_so_far = checkpoint.restore_best()
+            stagnation = checkpoint.stagnation
+            start_generation = checkpoint.generation
+            evaluations_before_resume = checkpoint.evaluations
+            self.rng.setstate(checkpoint.restore_rng_state())
+            baseline = engine.baseline()
+        else:
+            baseline = engine.baseline()
+            if not baseline.valid:
+                raise SearchError(
+                    f"the unmodified program of workload {self.adapter.name!r} fails its own "
+                    "test cases; fix the workload before searching")
+            history = SearchHistory(baseline_runtime=baseline.runtime_ms)
+            population = seed_population(config.population_size)
+            self.evaluator.evaluate_population(population)
+            best_so_far = best_individual(population)
+
+        for generation in range(start_generation + 1, config.generations + 1):
             population = self._next_generation(population)
             self.evaluator.evaluate_population(population)
             generation_best = best_individual(population)
@@ -95,9 +141,13 @@ class GevoSearch:
             else:
                 stagnation += 1
             history.record_generation(generation, population, best_so_far,
-                                      self.evaluator.evaluations)
+                                      self.total_evaluations(evaluations_before_resume))
             if self.progress is not None:
                 self.progress(generation, history)
+            if checkpoint_path is not None and generation % max(1, checkpoint_every) == 0:
+                self._save_checkpoint(checkpoint_path, generation, stagnation,
+                                      population, best_so_far, history,
+                                      evaluations_before_resume, baseline)
             if config.stagnation_limit and stagnation >= config.stagnation_limit:
                 break
 
@@ -111,10 +161,35 @@ class GevoSearch:
             history=history,
             baseline=baseline,
             config=config,
-            evaluations=self.evaluator.evaluations,
+            evaluations=self.total_evaluations(evaluations_before_resume),
             wall_clock_seconds=time.perf_counter() - start,
             validation=validation,
         )
+
+    def total_evaluations(self, evaluations_before_resume: int = 0) -> int:
+        return self.evaluator.evaluations + evaluations_before_resume
+
+    def _save_checkpoint(self, path: str, generation: int, stagnation: int,
+                         population: List[Individual], best: Optional[Individual],
+                         history: SearchHistory, evaluations_before_resume: int,
+                         baseline: FitnessResult) -> None:
+        from ..runtime.checkpoint import SearchCheckpoint
+
+        engine = self.evaluator.engine
+        checkpoint = SearchCheckpoint.capture(
+            workload_id=engine.workload_id,
+            config=self.config,
+            generation=generation,
+            stagnation=stagnation,
+            rng_state=self.rng.getstate(),
+            population=population,
+            best=best,
+            evaluations=self.total_evaluations(evaluations_before_resume),
+            history=history,
+            baseline_runtime=baseline.runtime_ms,
+            cache_entries=engine.cache.export_entries(),
+        )
+        checkpoint.save(path)
 
     # -- generation construction ------------------------------------------------------------
     def _next_generation(self, population: List[Individual]) -> List[Individual]:
@@ -139,12 +214,19 @@ class GevoSearch:
 
 def run_repeated_searches(adapter: WorkloadAdapter, config: GevoConfig, runs: int,
                           *, base_seed: int = 0, candidate_edits=None,
-                          candidate_probability: float = 0.0) -> List[SearchResult]:
-    """Run GEVO *runs* times with different seeds (Figure 6 methodology)."""
+                          candidate_probability: float = 0.0,
+                          engine=None) -> List[SearchResult]:
+    """Run GEVO *runs* times with different seeds (Figure 6 methodology).
+
+    When an *engine* is supplied it is shared across the runs, so variants
+    rediscovered by several seeds (the baseline, elites, common single
+    edits) are evaluated once for the whole sweep.
+    """
     results = []
     for run_index in range(runs):
         run_config = config.with_(seed=base_seed + run_index)
         search = GevoSearch(adapter, run_config, candidate_edits=candidate_edits,
-                            candidate_probability=candidate_probability)
+                            candidate_probability=candidate_probability,
+                            engine=engine)
         results.append(search.run())
     return results

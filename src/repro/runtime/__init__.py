@@ -1,0 +1,63 @@
+"""The parallel evaluation runtime.
+
+This package is the architectural seam between "what to evaluate" (search
+and analysis algorithms) and "how to evaluate it" (serially, across a
+process pool, against a persistent cache).  Typical usage::
+
+    from repro.runtime import EvaluationEngine, FitnessCache, make_executor
+
+    engine = EvaluationEngine(adapter,
+                              executor=make_executor(jobs=4),
+                              cache=FitnessCache("fitness-cache.json"))
+    results = engine.evaluate_many([ind.edits for ind in population])
+    ...
+    engine.close()   # flush the cache, stop the workers
+
+See :mod:`repro.runtime.engine` (executors + batch API),
+:mod:`repro.runtime.cache` (content-addressed fitness cache) and
+:mod:`repro.runtime.checkpoint` (search checkpoint/resume).
+"""
+
+from .cache import (
+    CacheKey,
+    CacheStats,
+    FitnessCache,
+    canonical_edit_hash,
+    canonical_edit_key,
+    result_from_dict,
+    result_to_dict,
+)
+from .checkpoint import (
+    SearchCheckpoint,
+    deserialize_individual,
+    serialize_individual,
+)
+from .engine import (
+    EngineStats,
+    EvaluationEngine,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    default_jobs,
+    make_executor,
+)
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "EngineStats",
+    "EvaluationEngine",
+    "Executor",
+    "FitnessCache",
+    "ParallelExecutor",
+    "SearchCheckpoint",
+    "SerialExecutor",
+    "canonical_edit_hash",
+    "canonical_edit_key",
+    "default_jobs",
+    "deserialize_individual",
+    "make_executor",
+    "result_from_dict",
+    "result_to_dict",
+    "serialize_individual",
+]

@@ -1,0 +1,252 @@
+"""Content-addressed fitness cache.
+
+Fitness evaluation dominates the wall clock of every pipeline in this
+reproduction (search, minimization, epistasis, subset sweeps), and the
+same edit-sets are evaluated over and over -- within one run (elitism,
+delta-debugging rounds) and across runs (re-running an experiment, or
+resuming a checkpointed search).  This module provides the cache the whole
+evaluation runtime shares:
+
+* :func:`canonical_edit_key` / :func:`canonical_edit_hash` -- an
+  order-insensitive identity for an edit list.  GEVO's ``f(S)`` semantics
+  (Algorithms 1 and 2) treat an edit collection as a *multiset*: the
+  replay order is normalised by the evaluators (discovery order for
+  ``EditSetEvaluator``), so two permutations of the same edits denote the
+  same variant and must share one cache entry.  Duplicated edits are kept
+  (applying ``copy`` twice is not the same as applying it once), which is
+  why the key is a sorted tuple rather than a frozen set.
+* :class:`FitnessCache` -- a two-tier cache: an always-on in-memory dict
+  plus an optional disk-persisted JSON tier that survives across runs.
+  Keys are ``(workload id, arch name, canonical edit-set hash)`` so one
+  cache file can serve many workloads and architectures at once.
+
+The disk format is a single JSON document (version-tagged) written
+atomically; ``inf`` runtimes of invalid variants round-trip through
+JSON's ``Infinity`` literal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..gevo.edits import Edit
+from ..gevo.fitness import CaseResult, FitnessResult
+
+#: Bump when the on-disk layout or the key derivation changes.
+CACHE_FORMAT_VERSION = 1
+
+
+# -- canonical edit-set identity ------------------------------------------------------
+
+def canonical_edit_key(edits: Sequence[Edit]) -> Tuple[str, ...]:
+    """Order-insensitive, duplicate-preserving identity of an edit list.
+
+    ``repr`` of :meth:`Edit.key` is stable for the primitive types edit
+    keys are built from (strings, ints, floats, nested tuples) and gives a
+    total order even across heterogeneous key shapes, which plain tuple
+    comparison does not.
+    """
+    return tuple(sorted(repr(edit.key()) for edit in edits))
+
+
+def canonical_edit_hash(edits: Sequence[Edit]) -> str:
+    """Hex digest of :func:`canonical_edit_key`, usable as a file-safe id."""
+    payload = "\n".join(canonical_edit_key(edits)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one fitness evaluation: what ran, where, with which edits."""
+
+    workload_id: str
+    arch_name: str
+    edit_hash: str
+
+    def to_string(self) -> str:
+        return f"{self.workload_id}|{self.arch_name}|{self.edit_hash}"
+
+    @classmethod
+    def from_string(cls, text: str) -> "CacheKey":
+        workload_id, arch_name, edit_hash = text.rsplit("|", 2)
+        return cls(workload_id, arch_name, edit_hash)
+
+
+# -- FitnessResult (de)serialisation --------------------------------------------------
+
+def result_to_dict(result: FitnessResult) -> Dict[str, object]:
+    return {
+        "valid": result.valid,
+        "runtime_ms": result.runtime_ms,
+        "cases": [
+            {"name": case.name, "passed": case.passed,
+             "runtime_ms": case.runtime_ms, "message": case.message}
+            for case in result.cases
+        ],
+    }
+
+
+def result_from_dict(data: Dict[str, object]) -> FitnessResult:
+    cases = [CaseResult(name=case["name"], passed=case["passed"],
+                        runtime_ms=case["runtime_ms"], message=case.get("message", ""))
+             for case in data.get("cases", [])]
+    return FitnessResult(valid=data["valid"], runtime_ms=data["runtime_ms"], cases=cases)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`FitnessCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Entries that were already present when the disk tier was loaded.
+    loaded: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (f"{self.hits} hits / {self.misses} misses "
+                f"({self.hit_rate:.0%} hit rate, {self.loaded} preloaded)")
+
+
+class FitnessCache:
+    """In-memory fitness cache with an optional persistent JSON tier.
+
+    With ``path=None`` the cache is purely in-memory (the default for
+    tests and one-shot runs).  With a path, :meth:`load` pre-populates the
+    memory tier from disk and :meth:`save` writes it back atomically;
+    saving is a no-op unless entries were added since the last write.
+    """
+
+    def __init__(self, path: Optional[str] = None, *, autoload: bool = True):
+        self.path = path
+        self.stats = CacheStats()
+        self._entries: Dict[CacheKey, FitnessResult] = {}
+        self._dirty = False
+        self._last_save = 0.0
+        if path is not None and autoload:
+            self.load()
+
+    # -- lookup ------------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[FitnessResult]:
+        result = self._entries.get(key)
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return result
+
+    def peek(self, key: CacheKey) -> Optional[FitnessResult]:
+        """Lookup without touching the hit/miss counters."""
+        return self._entries.get(key)
+
+    def put(self, key: CacheKey, result: FitnessResult) -> None:
+        if key not in self._entries:
+            self.stats.stores += 1
+            self._dirty = True
+        self._entries[key] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    # -- persistence -------------------------------------------------------------------
+    def load(self) -> int:
+        """Merge entries from :attr:`path` into the memory tier.
+
+        Returns the number of entries loaded; a missing file loads zero
+        entries (first run with a fresh cache path).
+        """
+        if self.path is None or not os.path.exists(self.path):
+            return 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (ValueError, OSError):
+            # A cache is disposable acceleration state: a corrupt or
+            # unreadable file behaves like an empty one (and is replaced
+            # wholesale on the next save).
+            self._dirty = True
+            return 0
+        if not isinstance(document, dict) or document.get("version") != CACHE_FORMAT_VERSION:
+            # An incompatible cache is stale data, not an error: ignore it.
+            return 0
+        loaded = 0
+        for key_text, payload in document.get("entries", {}).items():
+            try:
+                key = CacheKey.from_string(key_text)
+                result = result_from_dict(payload)
+            except (ValueError, KeyError, TypeError):
+                continue
+            if key not in self._entries:
+                self._entries[key] = result
+                loaded += 1
+        self.stats.loaded += loaded
+        return loaded
+
+    def save(self, *, force: bool = False) -> bool:
+        """Atomically write the memory tier to :attr:`path` when dirty."""
+        if self.path is None or (not self._dirty and not force):
+            return False
+        document = {
+            "version": CACHE_FORMAT_VERSION,
+            "entries": {key.to_string(): result_to_dict(result)
+                        for key, result in self._entries.items()},
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        self._dirty = False
+        self._last_save = time.monotonic()
+        return True
+
+    def maybe_save(self, min_interval_seconds: float = 5.0) -> bool:
+        """Save, but at most once per *min_interval_seconds*.
+
+        The JSON tier rewrites the whole file on every save, so flushing
+        after every evaluation batch would cost O(total entries) I/O per
+        generation.  The engine calls this on its hot path; an unclean
+        exit loses at most the last interval's entries (and a checkpointed
+        search loses nothing -- the checkpoint carries the cache too).
+        """
+        if time.monotonic() - self._last_save < min_interval_seconds:
+            return False
+        return self.save()
+
+    # -- bulk import/export (used by checkpoints) --------------------------------------
+    def export_entries(self) -> Dict[str, Dict[str, object]]:
+        return {key.to_string(): result_to_dict(result)
+                for key, result in self._entries.items()}
+
+    def import_entries(self, entries: Dict[str, Dict[str, object]]) -> int:
+        imported = 0
+        for key_text, payload in entries.items():
+            key = CacheKey.from_string(key_text)
+            if key not in self._entries:
+                self._entries[key] = result_from_dict(payload)
+                self._dirty = True
+                imported += 1
+        return imported

@@ -1,0 +1,239 @@
+"""Checkpoint/resume for long-running GEVO searches.
+
+A paper-scale GEVO run is days of wall clock (population 256 x 300
+generations x a full test-suite evaluation per variant); with the
+simulated GPU the scaled-down runs are still the slowest thing in the
+repo.  A :class:`SearchCheckpoint` captures everything the generational
+loop needs to continue exactly where it stopped:
+
+* the population and best-so-far individual (edit lists + fitness),
+* the generation counter and stagnation counter,
+* the Mersenne-Twister state of the search RNG,
+* the recorded :class:`~repro.gevo.history.SearchHistory`,
+* the search configuration (for mismatch detection on resume),
+* the fitness-cache contents, so no variant evaluated before the
+  interruption is ever re-simulated.
+
+Checkpoints are plain JSON; ``inf`` fitness values round-trip through
+JSON's ``Infinity`` literal.  Resuming with the same seed reproduces the
+uninterrupted run bit-for-bit (pinned by
+``tests/runtime/test_checkpoint.py``) because the RNG state, population
+order and history are all restored verbatim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SearchError
+from ..gevo.config import GevoConfig
+from ..gevo.edits import Edit, edit_from_dict
+from ..gevo.genome import Individual
+from ..gevo.history import GenerationRecord, SearchHistory
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+# -- primitive (de)serialisation helpers ---------------------------------------------
+
+def _to_jsonable(value):
+    """Tuples survive JSON as lists; convert eagerly for clarity."""
+    if isinstance(value, tuple):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, list):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _to_jsonable(item) for key, item in value.items()}
+    return value
+
+
+def _to_tuple(value):
+    """Recursively convert JSON lists back to the tuples edit keys use."""
+    if isinstance(value, list):
+        return tuple(_to_tuple(item) for item in value)
+    return value
+
+
+def serialize_individual(individual: Individual) -> Dict[str, object]:
+    return {
+        "edits": [edit.to_dict() for edit in individual.edits],
+        "fitness": individual.fitness,
+        "valid": individual.valid,
+        "birth_generation": individual.birth_generation,
+    }
+
+
+def deserialize_individual(data: Dict[str, object]) -> Individual:
+    individual = Individual(
+        edits=[edit_from_dict(edit) for edit in data["edits"]],
+        birth_generation=data.get("birth_generation", 0),
+    )
+    individual.fitness = data.get("fitness")
+    individual.valid = data.get("valid")
+    return individual
+
+
+def serialize_history(history: SearchHistory) -> Dict[str, object]:
+    return {
+        "baseline_runtime": history.baseline_runtime,
+        "records": [
+            {
+                "generation": record.generation,
+                "best_fitness": record.best_fitness,
+                "mean_fitness": record.mean_fitness,
+                "valid_count": record.valid_count,
+                "population_size": record.population_size,
+                "best_edit_keys": _to_jsonable(record.best_edit_keys),
+                "evaluations": record.evaluations,
+            }
+            for record in history.records
+        ],
+        "first_seen_in_best": [
+            [_to_jsonable(key), generation]
+            for key, generation in history.first_seen_in_best.items()
+        ],
+        "first_seen_in_population": [
+            [_to_jsonable(key), generation]
+            for key, generation in history.first_seen_in_population.items()
+        ],
+    }
+
+
+def deserialize_history(data: Dict[str, object]) -> SearchHistory:
+    history = SearchHistory(baseline_runtime=data["baseline_runtime"])
+    for record in data.get("records", []):
+        history.records.append(GenerationRecord(
+            generation=record["generation"],
+            best_fitness=record["best_fitness"],
+            mean_fitness=record["mean_fitness"],
+            valid_count=record["valid_count"],
+            population_size=record["population_size"],
+            best_edit_keys=_to_tuple(record.get("best_edit_keys", [])),
+            evaluations=record.get("evaluations", 0),
+        ))
+    for key, generation in data.get("first_seen_in_best", []):
+        history.first_seen_in_best[_to_tuple(key)] = generation
+    for key, generation in data.get("first_seen_in_population", []):
+        history.first_seen_in_population[_to_tuple(key)] = generation
+    return history
+
+
+def serialize_rng_state(state) -> List[object]:
+    return _to_jsonable(state)
+
+
+def deserialize_rng_state(data) -> Tuple:
+    return _to_tuple(data)
+
+
+# -- the checkpoint ------------------------------------------------------------------
+
+@dataclass
+class SearchCheckpoint:
+    """Complete restartable state of one interrupted GEVO search."""
+
+    workload_id: str
+    config: Dict[str, object]
+    generation: int
+    stagnation: int
+    rng_state: List[object]
+    population: List[Dict[str, object]]
+    best: Optional[Dict[str, object]]
+    evaluations: int
+    history: Dict[str, object]
+    baseline_runtime: float
+    cache_entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    version: int = CHECKPOINT_FORMAT_VERSION
+
+    # -- construction ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, *, workload_id: str, config: GevoConfig, generation: int,
+                stagnation: int, rng_state, population: Sequence[Individual],
+                best: Optional[Individual], evaluations: int,
+                history: SearchHistory, baseline_runtime: float,
+                cache_entries: Optional[Dict[str, Dict[str, object]]] = None,
+                ) -> "SearchCheckpoint":
+        return cls(
+            workload_id=workload_id,
+            config=dataclasses.asdict(config),
+            generation=generation,
+            stagnation=stagnation,
+            rng_state=serialize_rng_state(rng_state),
+            population=[serialize_individual(ind) for ind in population],
+            best=serialize_individual(best) if best is not None else None,
+            evaluations=evaluations,
+            history=serialize_history(history),
+            baseline_runtime=baseline_runtime,
+            cache_entries=dict(cache_entries or {}),
+        )
+
+    # -- restoration -------------------------------------------------------------------
+    def restore_config(self) -> GevoConfig:
+        data = dict(self.config)
+        return GevoConfig(**data)
+
+    def restore_population(self) -> List[Individual]:
+        return [deserialize_individual(ind) for ind in self.population]
+
+    def restore_best(self) -> Optional[Individual]:
+        return deserialize_individual(self.best) if self.best is not None else None
+
+    def restore_history(self) -> SearchHistory:
+        return deserialize_history(self.history)
+
+    def restore_rng_state(self) -> Tuple:
+        return deserialize_rng_state(self.rng_state)
+
+    # -- persistence -------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SearchCheckpoint":
+        if data.get("version") != CHECKPOINT_FORMAT_VERSION:
+            raise SearchError(
+                f"checkpoint format version {data.get('version')!r} is not supported "
+                f"(expected {CHECKPOINT_FORMAT_VERSION})")
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in fields})
+
+    def save(self, path: str) -> None:
+        """Atomically write the checkpoint to *path* (tmp file + rename)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "SearchCheckpoint":
+        """Load a checkpoint; corruption raises :class:`SearchError`.
+
+        Unlike the fitness cache, a checkpoint is irreplaceable search
+        state -- a damaged file must surface loudly, not be silently
+        treated as empty.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except ValueError as exc:
+            raise SearchError(f"checkpoint {path!r} is not valid JSON: {exc}") from exc
+        except OSError as exc:
+            raise SearchError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        try:
+            return cls.from_dict(document)
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise SearchError(
+                f"checkpoint {path!r} is malformed (missing or mistyped field: {exc})"
+            ) from exc

@@ -1,0 +1,276 @@
+"""The shared evaluation engine: batch fitness evaluation over pluggable executors.
+
+Every consumer of fitness values -- the GEVO generational loop, the
+random-search and hill-climbing baselines, Algorithm 1/2 and the subset
+sweep -- ultimately asks the same question: "what is the fitness of the
+program with these edits applied?".  :class:`EvaluationEngine` answers it
+through one batch API, ``evaluate_many(edit_sets)``, so a whole GA
+generation or an epistasis pair-grid becomes a single concurrent wave:
+
+* lookups go through the content-addressed :class:`~repro.runtime.cache.FitnessCache`
+  (order-insensitive canonical keys, optional disk persistence);
+* cache misses are deduplicated within the batch and dispatched to the
+  configured executor -- :class:`SerialExecutor` runs them in-process,
+  :class:`ParallelExecutor` fans them out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+The simulated GPU is fully deterministic (cycle-count timing, seeded
+RNGs), so serial and parallel execution produce identical
+:class:`~repro.gevo.fitness.FitnessResult`\\ s; the parity test in
+``tests/runtime/test_engine.py`` pins that contract down.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gevo.edits import Edit, edit_from_dict
+from ..gevo.fitness import FitnessResult, WorkloadAdapter
+from ..gevo.genome import apply_edits
+from .cache import CacheKey, FitnessCache, canonical_edit_hash
+
+__all__ = [
+    "EngineStats",
+    "EvaluationEngine",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "default_jobs",
+]
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0`` (all cores, capped)."""
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+def _evaluate_one(adapter: WorkloadAdapter, original, edits: Sequence[Edit]) -> FitnessResult:
+    applied = apply_edits(original, edits)
+    return adapter.evaluate(applied.module)
+
+
+# -- executors -----------------------------------------------------------------------
+
+class Executor:
+    """Strategy for running a batch of (deduplicated) fitness evaluations."""
+
+    name = "executor"
+
+    def run_batch(self, adapter: WorkloadAdapter, original,
+                  edit_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (worker processes); idempotent."""
+
+
+class SerialExecutor(Executor):
+    """Evaluate the batch one variant at a time in the calling process."""
+
+    name = "serial"
+
+    def run_batch(self, adapter, original, edit_sets):
+        return [_evaluate_one(adapter, original, edits) for edits in edit_sets]
+
+
+# Worker-side state for ParallelExecutor.  Each worker unpickles the adapter
+# exactly once (in the pool initializer) instead of once per task.
+_worker_adapter: Optional[WorkloadAdapter] = None
+_worker_original = None
+
+
+def _init_worker(adapter_payload: bytes) -> None:
+    global _worker_adapter, _worker_original
+    _worker_adapter = pickle.loads(adapter_payload)
+    _worker_original = _worker_adapter.original_module()
+
+
+def _worker_evaluate(edit_dicts: List[Dict[str, object]]) -> FitnessResult:
+    edits = [edit_from_dict(data) for data in edit_dicts]
+    return _evaluate_one(_worker_adapter, _worker_original, edits)
+
+
+class ParallelExecutor(Executor):
+    """Fan evaluations out over a process pool.
+
+    The adapter is pickled once and shipped to each worker through the
+    pool initializer; tasks carry only the serialised edit list (via
+    :meth:`Edit.to_dict`), so per-task overhead stays small.  Workers are
+    started lazily on the first batch and torn down by :meth:`close`.
+    """
+
+    name = "parallel"
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            jobs = default_jobs()
+        self.jobs = jobs
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Strong reference to the adapter the pool was built for -- also
+        #: keeps ``id()`` stable for the identity check below.
+        self._adapter: Optional[WorkloadAdapter] = None
+
+    def _ensure_pool(self, adapter: WorkloadAdapter) -> ProcessPoolExecutor:
+        if self._pool is not None and adapter is not self._adapter:
+            # A different adapter invalidates the worker-side state.
+            self.close()
+        if self._pool is None:
+            # Pickled exactly once per pool lifetime, not per batch.
+            self._adapter = adapter
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(pickle.dumps(adapter),),
+            )
+        return self._pool
+
+    def run_batch(self, adapter, original, edit_sets):
+        if len(edit_sets) <= 1 or self.jobs == 1:
+            # Not worth shipping to workers; keeps single lookups cheap.
+            return SerialExecutor().run_batch(adapter, original, edit_sets)
+        pool = self._ensure_pool(adapter)
+        serialised = [[edit.to_dict() for edit in edits] for edits in edit_sets]
+        chunksize = max(1, len(serialised) // (self.jobs * 4))
+        return list(pool.map(_worker_evaluate, serialised, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._adapter = None
+
+
+def make_executor(jobs: int) -> Executor:
+    """``jobs == 1`` -> serial; ``jobs < 1`` -> a pool with one worker per
+    core (capped); otherwise a pool with exactly *jobs* workers."""
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)
+
+
+# -- the engine ----------------------------------------------------------------------
+
+@dataclass
+class EngineStats:
+    """Snapshot of one engine's accounting."""
+
+    evaluations: int
+    cache_hits: int
+    cache_misses: int
+    executor: str
+    jobs: int
+    cache_size: int
+
+    def summary(self) -> str:
+        return (f"{self.evaluations} evaluations, {self.cache_hits} cache hits "
+                f"({self.executor}, jobs={self.jobs}, {self.cache_size} cached)")
+
+
+class EvaluationEngine:
+    """Cached, batched fitness evaluation for one workload adapter.
+
+    Parameters
+    ----------
+    adapter:
+        The workload to evaluate against.
+    executor:
+        Batch execution strategy; defaults to :class:`SerialExecutor`.
+    cache:
+        A :class:`FitnessCache`; defaults to a fresh in-memory cache.
+        Pass a shared instance to pool results across engines (e.g. the
+        repeated-search experiment) or a disk-backed one to persist them.
+    workload_id / arch_name:
+        Cache-key namespace; derived from the adapter when omitted
+        (``adapter.name`` and ``adapter.arch.name``).
+    """
+
+    def __init__(self, adapter: WorkloadAdapter, *,
+                 executor: Optional[Executor] = None,
+                 cache: Optional[FitnessCache] = None,
+                 workload_id: Optional[str] = None,
+                 arch_name: Optional[str] = None):
+        self.adapter = adapter
+        self.executor = executor or SerialExecutor()
+        self.cache = cache if cache is not None else FitnessCache()
+        self.original = adapter.original_module()
+        arch = getattr(adapter, "arch", None)
+        self.workload_id = workload_id or getattr(adapter, "name", type(adapter).__name__)
+        self.arch_name = arch_name or (getattr(arch, "name", None) or "default")
+        #: Number of actual adapter evaluations performed (cache misses executed).
+        self.evaluations = 0
+
+    # -- keys --------------------------------------------------------------------------
+    def cache_key(self, edits: Sequence[Edit]) -> CacheKey:
+        return CacheKey(self.workload_id, self.arch_name, canonical_edit_hash(edits))
+
+    # -- evaluation --------------------------------------------------------------------
+    def evaluate(self, edits: Sequence[Edit]) -> FitnessResult:
+        """Evaluate one edit list (through the cache)."""
+        return self.evaluate_many([edits])[0]
+
+    def evaluate_many(self, edit_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
+        """Evaluate a batch of edit lists in one concurrent wave.
+
+        Results come back in input order.  Within the batch, edit sets with
+        the same canonical key are evaluated once; previously seen sets are
+        served from the cache without touching the executor.
+        """
+        keys = [self.cache_key(edits) for edits in edit_sets]
+        results: List[Optional[FitnessResult]] = [self.cache.get(key) for key in keys]
+
+        pending: Dict[CacheKey, int] = {}
+        pending_sets: List[Sequence[Edit]] = []
+        for index, (key, result) in enumerate(zip(keys, results)):
+            if result is None and key not in pending:
+                pending[key] = len(pending_sets)
+                pending_sets.append(edit_sets[index])
+
+        if pending_sets:
+            fresh = self.executor.run_batch(self.adapter, self.original, pending_sets)
+            self.evaluations += len(fresh)
+            for key, slot in pending.items():
+                self.cache.put(key, fresh[slot])
+            for index, key in enumerate(keys):
+                if results[index] is None:
+                    results[index] = fresh[pending[key]]
+            self.cache.maybe_save()
+
+        return results  # type: ignore[return-value]
+
+    def baseline(self) -> FitnessResult:
+        """Fitness of the unmodified program (cached like any other set)."""
+        return self.evaluate([])
+
+    # -- bookkeeping -------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.stats.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.stats.misses
+
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            evaluations=self.evaluations,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            executor=self.executor.name,
+            jobs=getattr(self.executor, "jobs", 1),
+            cache_size=len(self.cache),
+        )
+
+    def close(self) -> None:
+        """Flush the cache and release executor resources."""
+        self.cache.save()
+        self.executor.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,120 @@
+"""Checkpoint/resume: a resumed search reproduces the uninterrupted run."""
+
+import json
+
+import pytest
+
+from repro.errors import SearchError
+from repro.gevo import GevoConfig, GevoSearch
+from repro.runtime import EvaluationEngine, FitnessCache, SearchCheckpoint
+from repro.workloads import ToyWorkloadAdapter
+
+
+@pytest.fixture(scope="module")
+def adapter():
+    return ToyWorkloadAdapter(elements=64)
+
+
+CONFIG = dict(seed=33, population_size=8, generations=6)
+
+
+class TestCheckpointRoundTrip:
+    def test_checkpoint_file_round_trips(self, adapter, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        config = GevoConfig.quick(**CONFIG)
+        GevoSearch(adapter, config).run(checkpoint_path=path)
+        checkpoint = SearchCheckpoint.load(path)
+        assert checkpoint.generation == config.generations
+        assert checkpoint.restore_config() == config
+        assert len(checkpoint.restore_population()) == config.population_size
+        history = checkpoint.restore_history()
+        assert history.generations() == config.generations
+        # Edit keys survive the JSON round trip as tuples.
+        for key in history.first_seen_in_population:
+            assert isinstance(key, tuple)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 999}))
+        with pytest.raises(SearchError):
+            SearchCheckpoint.load(str(path))
+
+    def test_corrupt_checkpoint_raises_search_error(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{broken")
+        with pytest.raises(SearchError, match="not valid JSON"):
+            SearchCheckpoint.load(str(path))
+
+
+class TestResume:
+    def _interrupted_run(self, adapter, path, stop_at):
+        """Run only the first *stop_at* generations, checkpointing each one."""
+        config = GevoConfig.quick(**CONFIG).with_(generations=stop_at)
+        GevoSearch(adapter, config).run(checkpoint_path=path)
+        # The checkpoint was taken mid-search; patch the recorded config back
+        # to the full-length run it belongs to.
+        checkpoint = SearchCheckpoint.load(path)
+        checkpoint.config["generations"] = CONFIG["generations"]
+        checkpoint.save(path)
+
+    def test_resumed_run_reproduces_uninterrupted_run(self, adapter, tmp_path):
+        config = GevoConfig.quick(**CONFIG)
+        uninterrupted = GevoSearch(adapter, config).run()
+
+        path = str(tmp_path / "ckpt.json")
+        self._interrupted_run(adapter, path, stop_at=3)
+        resumed = GevoSearch(adapter, config).run(resume_from=path)
+
+        assert (resumed.history.best_fitness_series()
+                == uninterrupted.history.best_fitness_series())
+        assert resumed.best.edit_keys() == uninterrupted.best.edit_keys()
+        assert resumed.best.fitness == uninterrupted.best.fitness
+        assert resumed.evaluations == uninterrupted.evaluations
+        assert (resumed.history.first_seen_in_best
+                == uninterrupted.history.first_seen_in_best)
+
+    def test_resume_restores_cache_so_nothing_reruns_before_the_cut(
+            self, adapter, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        self._interrupted_run(adapter, path, stop_at=3)
+
+        engine = EvaluationEngine(adapter)
+        config = GevoConfig.quick(**CONFIG)
+        GevoSearch(adapter, config, engine=engine).run(resume_from=path)
+        checkpoint = SearchCheckpoint.load(path)
+        # Everything evaluated before the interruption came from the imported
+        # cache: the resumed engine only executed genuinely new variants.
+        uninterrupted = GevoSearch(adapter, config).run()
+        assert engine.evaluations == uninterrupted.evaluations - checkpoint.evaluations
+
+    def test_resume_rejects_config_mismatch(self, adapter, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        self._interrupted_run(adapter, path, stop_at=2)
+        other = GevoConfig.quick(**dict(CONFIG, seed=99))
+        with pytest.raises(SearchError):
+            GevoSearch(adapter, other).run(resume_from=path)
+
+    def test_resume_rejects_workload_mismatch(self, adapter, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        self._interrupted_run(adapter, path, stop_at=2)
+        checkpoint = SearchCheckpoint.load(path)
+        checkpoint.workload_id = "another workload"
+        checkpoint.save(path)
+        config = GevoConfig.quick(**CONFIG)
+        with pytest.raises(SearchError):
+            GevoSearch(adapter, config).run(resume_from=path)
+
+    def test_warm_persistent_cache_means_zero_evaluations_on_rerun(
+            self, adapter, tmp_path):
+        cache_path = str(tmp_path / "fitness.json")
+        config = GevoConfig.quick(**CONFIG)
+
+        cold = EvaluationEngine(adapter, cache=FitnessCache(cache_path))
+        GevoSearch(adapter, config, engine=cold).run()
+        assert cold.evaluations > 0
+        cold.close()
+
+        warm = EvaluationEngine(adapter, cache=FitnessCache(cache_path))
+        GevoSearch(adapter, config, engine=warm).run()
+        assert warm.evaluations == 0
+        assert warm.cache_hits > 0
