@@ -5,6 +5,13 @@ when it strictly improves fitness (and still validates).  Hill climbing
 can find independent edits but cannot assemble interdependent clusters
 whose members are individually invalid -- which is exactly the paper's
 argument for why population-based EC matters (Section V / VII).
+
+Like :class:`~repro.gevo.search.GevoSearch`, the climb conforms to
+:class:`~repro.runtime.checkpoint.CheckpointableSearch`: pass
+``checkpoint_path=`` to snapshot the run (current individual, step
+counter, accepted/rejected tallies, RNG state, history and fitness-cache
+contents), and ``resume_from=`` to continue an interrupted climb
+bit-for-bit without re-simulating anything it already evaluated.
 """
 
 from __future__ import annotations
@@ -13,8 +20,9 @@ import math
 import random
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
+from ..errors import SearchError
 from ..gevo.config import GevoConfig
 from ..gevo.fitness import FitnessResult, GenomeEvaluator, WorkloadAdapter
 from ..gevo.genome import Individual
@@ -44,6 +52,8 @@ class HillClimbResult:
 class HillClimber:
     """Greedy first-improvement search over single-edit mutations."""
 
+    algorithm = "hill_climber"
+
     def __init__(self, adapter: WorkloadAdapter, config: GevoConfig, *, engine=None):
         self.adapter = adapter
         self.config = config
@@ -51,20 +61,64 @@ class HillClimber:
         self.evaluator = GenomeEvaluator(adapter, engine=engine)
         self.generator = EditGenerator(self.evaluator.original, self.rng,
                                        weights=config.edit_weights)
+        # Working state of the climb (captured by checkpoints).
+        self._current: Optional[Individual] = None
+        self._history: Optional[SearchHistory] = None
+        self._step = 0
+        self._budget = 0
+        self._accepted = 0
+        self._rejected = 0
+        self._evaluations_before_resume = 0
 
-    def run(self, steps: Optional[int] = None) -> HillClimbResult:
+    def run(self, steps: Optional[int] = None, *,
+            checkpoint_path: Optional[str] = None,
+            checkpoint_every: int = 1,
+            resume_from: Optional[Union[str, "SearchCheckpoint"]] = None,
+            ) -> HillClimbResult:
+        """Climb for the configured number of steps.
+
+        With ``checkpoint_path`` the full state is written there every
+        ``checkpoint_every`` steps; ``resume_from`` (a path or a loaded
+        checkpoint) continues an interrupted climb instead of starting
+        fresh.  A resumed climb keeps the checkpoint's recorded step
+        budget; passing a conflicting ``steps`` raises
+        :class:`~repro.errors.SearchError`.
+        """
+        from ..runtime.checkpoint import resolve_checkpoint
+
         start = time.perf_counter()
-        baseline = self.adapter.baseline()
-        history = SearchHistory(baseline_runtime=baseline.runtime_ms)
+        engine = self.evaluator.engine
         budget = steps if steps is not None else (
             self.config.population_size * self.config.generations)
+        self._evaluations_before_resume = 0
+        self._step = 0
+        self._accepted = 0
+        self._rejected = 0
 
-        current = Individual()
-        self.evaluator.evaluate_individual(current)
-        accepted = 0
-        rejected = 0
+        if resume_from is not None:
+            checkpoint = resolve_checkpoint(resume_from, algorithm=self.algorithm,
+                                            workload_id=engine.workload_id,
+                                            config=self.config)
+            self.restore_checkpoint(checkpoint)
+            if steps is not None and self._budget != steps:
+                raise SearchError(
+                    f"checkpoint was recorded with a budget of {self._budget} steps, "
+                    f"not {steps}; resume with the original budget (or start fresh)")
+            budget = self._budget
+            baseline = engine.baseline()
+        else:
+            self._budget = budget
+            # Routed through the engine so the baseline lands in the shared
+            # cache (and therefore in every checkpoint).
+            baseline = engine.baseline()
+            self._history = SearchHistory(baseline_runtime=baseline.runtime_ms)
+            self._current = Individual()
+            self.evaluator.evaluate_individual(self._current)
+        history = self._history
+        current = self._current
 
-        for step in range(1, budget + 1):
+        for step in range(self._step + 1, budget + 1):
+            self._step = step
             edit = self.generator.random_edit()
             if edit is None:
                 continue
@@ -74,17 +128,47 @@ class HillClimber:
             candidate_fitness = candidate.fitness if candidate.valid else math.inf
             if candidate.valid and candidate_fitness < current_fitness:
                 current = candidate
-                accepted += 1
+                self._accepted += 1
             else:
-                rejected += 1
+                self._rejected += 1
+            self._current = current
             history.record_generation(step, [current], current, step)
+            if checkpoint_path is not None and step % max(1, checkpoint_every) == 0:
+                self.capture_checkpoint().save(checkpoint_path)
+        if checkpoint_path is not None:
+            # Final state, regardless of the cadence: re-running the same
+            # command resumes (and immediately finishes) instead of
+            # repeating the tail since the last periodic checkpoint.
+            self.capture_checkpoint().save(checkpoint_path)
 
         return HillClimbResult(
             best=current,
             history=history,
             baseline=baseline,
-            accepted_edits=accepted,
-            rejected_edits=rejected,
-            evaluations=self.evaluator.evaluations,
+            accepted_edits=self._accepted,
+            rejected_edits=self._rejected,
+            evaluations=self.evaluator.evaluations + self._evaluations_before_resume,
             wall_clock_seconds=time.perf_counter() - start,
         )
+
+    # -- CheckpointableSearch ----------------------------------------------------------
+    def capture_checkpoint(self):
+        from ..runtime.checkpoint import capture_search_checkpoint, serialize_individual
+
+        return capture_search_checkpoint(self, state={
+            "step": self._step,
+            "budget": self._budget,
+            "accepted": self._accepted,
+            "rejected": self._rejected,
+            "current": serialize_individual(self._current),
+        })
+
+    def restore_checkpoint(self, checkpoint) -> None:
+        from ..runtime.checkpoint import restore_search_checkpoint
+
+        restore_search_checkpoint(self, checkpoint)
+        self._current = checkpoint.restore_individual("current")
+        self._step = int(checkpoint.state.get("step", 0))
+        self._budget = int(checkpoint.state.get("budget", 0))
+        self._accepted = int(checkpoint.state.get("accepted", 0))
+        self._rejected = int(checkpoint.state.get("rejected", 0))

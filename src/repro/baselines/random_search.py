@@ -5,6 +5,13 @@ interdependent edits via crossover and selection; pure random sampling of
 edit lists is the natural null hypothesis.  The baseline draws individuals
 with random edit lists (no selection, no crossover) under the same
 evaluation budget so its best-found variant can be compared with GEVO's.
+
+Like :class:`~repro.gevo.search.GevoSearch`, the sampling loop conforms to
+:class:`~repro.runtime.checkpoint.CheckpointableSearch`: pass
+``checkpoint_path=`` to snapshot the run (RNG state, best-so-far, history
+and fitness-cache contents) after each sampling wave, and
+``resume_from=`` to continue an interrupted run bit-for-bit without
+re-simulating anything it already evaluated.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ import math
 import random
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from ..gevo.config import GevoConfig
 from ..gevo.fitness import FitnessResult, GenomeEvaluator, WorkloadAdapter
@@ -42,6 +49,8 @@ class RandomSearchResult:
 class RandomSearch:
     """Samples random edit lists under a GEVO-equivalent evaluation budget."""
 
+    algorithm = "random_search"
+
     def __init__(self, adapter: WorkloadAdapter, config: GevoConfig,
                  max_edits_per_individual: int = 8, *, engine=None):
         self.adapter = adapter
@@ -51,6 +60,12 @@ class RandomSearch:
         self.evaluator = GenomeEvaluator(adapter, engine=engine)
         self.generator = EditGenerator(self.evaluator.original, self.rng,
                                        weights=config.edit_weights)
+        # Working state of the sampling loop (captured by checkpoints).
+        self._best: Optional[Individual] = None
+        self._history: Optional[SearchHistory] = None
+        self._generation = 0
+        self._evaluated = 0
+        self._evaluations_before_resume = 0
 
     def _random_individual(self) -> Individual:
         length = self.rng.randint(1, self.max_edits_per_individual)
@@ -61,33 +76,84 @@ class RandomSearch:
                 edits.append(edit)
         return Individual(edits=edits)
 
-    def run(self) -> RandomSearchResult:
-        start = time.perf_counter()
-        baseline = self.adapter.baseline()
-        history = SearchHistory(baseline_runtime=baseline.runtime_ms)
-        best: Optional[Individual] = None
-        budget = self.config.population_size * self.config.generations
+    def run(self, *, checkpoint_path: Optional[str] = None,
+            checkpoint_every: int = 1,
+            resume_from: Optional[Union[str, "SearchCheckpoint"]] = None,
+            ) -> RandomSearchResult:
+        """Sample until the evaluation budget is spent.
 
-        generation_size = self.config.population_size
-        generation = 0
-        evaluated = 0
-        while evaluated < budget:
+        With ``checkpoint_path`` the full state is written there every
+        ``checkpoint_every`` sampling waves; ``resume_from`` (a path or a
+        loaded checkpoint) continues an interrupted run instead of
+        starting fresh.
+        """
+        from ..runtime.checkpoint import resolve_checkpoint
+
+        start = time.perf_counter()
+        engine = self.evaluator.engine
+        config = self.config
+        budget = config.population_size * config.generations
+        self._evaluations_before_resume = 0
+        self._generation = 0
+        self._evaluated = 0
+        self._best = None
+
+        if resume_from is not None:
+            checkpoint = resolve_checkpoint(resume_from, algorithm=self.algorithm,
+                                            workload_id=engine.workload_id,
+                                            config=config)
+            self.restore_checkpoint(checkpoint)
+            baseline = engine.baseline()
+        else:
+            # Routed through the engine so the baseline lands in the shared
+            # cache (and therefore in every checkpoint).
+            baseline = engine.baseline()
+            self._history = SearchHistory(baseline_runtime=baseline.runtime_ms)
+        history = self._history
+
+        generation_size = config.population_size
+        while self._evaluated < budget:
             batch = [self._random_individual()
-                     for _ in range(min(generation_size, budget - evaluated))]
+                     for _ in range(min(generation_size, budget - self._evaluated))]
             # One concurrent wave per batch (parallel under a pool-backed engine).
             self.evaluator.evaluate_population(batch)
-            evaluated += len(batch)
-            generation += 1
+            self._evaluated += len(batch)
+            self._generation += 1
             for individual in batch:
                 if individual.valid and (
-                        best is None or (individual.fitness or math.inf) < (best.fitness or math.inf)):
-                    best = individual
-            history.record_generation(generation, batch, best, evaluated)
+                        self._best is None
+                        or (individual.fitness or math.inf) < (self._best.fitness or math.inf)):
+                    self._best = individual
+            history.record_generation(self._generation, batch, self._best, self._evaluated)
+            if checkpoint_path is not None and self._generation % max(1, checkpoint_every) == 0:
+                self.capture_checkpoint().save(checkpoint_path)
+        if checkpoint_path is not None:
+            # Final state, regardless of the cadence (see HillClimber.run).
+            self.capture_checkpoint().save(checkpoint_path)
 
         return RandomSearchResult(
-            best=best,
+            best=self._best,
             history=history,
             baseline=baseline,
-            evaluations=self.evaluator.evaluations,
+            evaluations=self.evaluator.evaluations + self._evaluations_before_resume,
             wall_clock_seconds=time.perf_counter() - start,
         )
+
+    # -- CheckpointableSearch ----------------------------------------------------------
+    def capture_checkpoint(self):
+        from ..runtime.checkpoint import capture_search_checkpoint, serialize_individual
+
+        return capture_search_checkpoint(self, state={
+            "generation": self._generation,
+            "evaluated": self._evaluated,
+            "best": (serialize_individual(self._best)
+                     if self._best is not None else None),
+        })
+
+    def restore_checkpoint(self, checkpoint) -> None:
+        from ..runtime.checkpoint import restore_search_checkpoint
+
+        restore_search_checkpoint(self, checkpoint)
+        self._best = checkpoint.restore_best()
+        self._generation = checkpoint.generation
+        self._evaluated = int(checkpoint.state.get("evaluated", 0))

@@ -1,21 +1,27 @@
 """Command-line interface for the reproduction.
 
-Two sub-commands are provided::
+Sub-commands::
 
     python -m repro.cli list                     # show available experiments
     python -m repro.cli run figure5              # regenerate one table / figure
     python -m repro.cli run figure5 --arch P100  # restrict to one GPU where supported
     python -m repro.cli search toy --generations 8   # run a small live GEVO search
+    python -m repro.cli baseline random toy          # run a search baseline
+    python -m repro.cli baseline hill toy --steps 40
 
-Searches run through the evaluation runtime (:mod:`repro.runtime`):
+Searches and baselines run through the evaluation runtime
+(:mod:`repro.runtime`):
 
 * ``--jobs N`` evaluates each generation across a pool of N worker
   processes (``--jobs 0`` = one per core);
-* ``--cache PATH`` persists the fitness cache to a JSON file, so
-  re-running the same search re-simulates nothing it has seen before;
-* ``--resume PATH`` checkpoints the search to PATH after every
-  generation and, when PATH already exists, resumes from it instead of
-  starting over.
+* ``--cache PATH`` persists the fitness cache to PATH, so re-running the
+  same search re-simulates nothing it has seen before.  The backend is
+  picked from the extension (``.sqlite``/``.sqlite3``/``.db`` -> SQLite,
+  anything else -> JSON) or forced with ``--cache-backend``; opening an
+  existing JSON cache with the SQLite backend migrates it in place;
+* ``--resume PATH`` checkpoints the search to PATH every
+  ``--checkpoint-every`` rounds and, when PATH already exists, resumes
+  from it instead of starting over -- for GEVO *and* for both baselines.
 
 The experiment identifiers match DESIGN.md / EXPERIMENTS.md and the
 benchmark harness, so the CLI is simply another front end over
@@ -29,11 +35,35 @@ import os
 import sys
 from typing import List, Optional
 
+from .baselines import HillClimber, RandomSearch
 from .errors import SearchError
 from .experiments import available_experiments, get_experiment
 from .gevo import GevoConfig, GevoSearch
 from .gpu import EVALUATION_ORDER, get_arch
 from .runtime import EvaluationEngine, FitnessCache, SearchCheckpoint, make_executor
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every subcommand that evaluates fitness."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="evaluate each generation across N worker processes (0 = all cores)")
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persist the fitness cache to PATH; re-runs hit the warm cache")
+    parser.add_argument(
+        "--cache-backend", choices=["auto", "json", "sqlite"], default="auto",
+        help="disk tier for --cache: whole-document JSON or incremental "
+             "WAL-mode SQLite (default: pick from the file extension)")
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="checkpoint the search to PATH; if PATH exists, resume from it "
+             "instead of starting over")
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="G",
+        help="with --resume, write the checkpoint every G rounds (default: "
+             "every generation/sampling wave; for the hill climber, whose "
+             "rounds are single evaluations, every population-size steps)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,19 +88,23 @@ def _build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--population", type=int, default=12)
     search_parser.add_argument("--generations", type=int, default=8)
     search_parser.add_argument("--seed", type=int, default=0)
-    search_parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="evaluate each generation across N worker processes (0 = all cores)")
-    search_parser.add_argument(
-        "--cache", default=None, metavar="PATH",
-        help="persist the fitness cache to PATH (JSON); re-runs hit the warm cache")
-    search_parser.add_argument(
-        "--resume", default=None, metavar="PATH",
-        help="checkpoint the search to PATH every generation; if PATH exists, "
-             "resume from it instead of starting over")
-    search_parser.add_argument(
-        "--checkpoint-every", type=int, default=1, metavar="G",
-        help="with --resume, write the checkpoint every G generations (default 1)")
+    _add_runtime_arguments(search_parser)
+
+    baseline_parser = subparsers.add_parser(
+        "baseline", help="run a non-evolutionary search baseline on one workload")
+    baseline_parser.add_argument("method", choices=["random", "hill"],
+                                 help="random sampling or first-improvement hill climbing")
+    baseline_parser.add_argument("workload", choices=["toy", "adept-v1", "simcov"])
+    baseline_parser.add_argument("--arch", choices=list(EVALUATION_ORDER), default="P100")
+    baseline_parser.add_argument("--population", type=int, default=12,
+                                 help="budget factor (budget = population x generations)")
+    baseline_parser.add_argument("--generations", type=int, default=8)
+    baseline_parser.add_argument("--seed", type=int, default=0)
+    baseline_parser.add_argument(
+        "--steps", type=int, default=None, metavar="N",
+        help="hill climber only: climb for exactly N steps instead of the "
+             "population x generations budget")
+    _add_runtime_arguments(baseline_parser)
     return parser
 
 
@@ -87,6 +121,29 @@ def _make_adapter(workload: str, arch_name: str):
     from .workloads.simcov import SimCovParams, SimCovWorkloadAdapter
 
     return SimCovWorkloadAdapter(arch, fitness_params=SimCovParams.quick())
+
+
+def _make_engine(adapter, arguments: argparse.Namespace) -> EvaluationEngine:
+    backend = None if arguments.cache_backend == "auto" else arguments.cache_backend
+    return EvaluationEngine(adapter,
+                            executor=make_executor(arguments.jobs),
+                            cache=FitnessCache(arguments.cache, backend=backend))
+
+
+def _load_resume_checkpoint(arguments: argparse.Namespace,
+                            config: GevoConfig) -> tuple:
+    """The (checkpoint, config) pair for --resume, if the file exists."""
+    if arguments.resume is None or not os.path.exists(arguments.resume):
+        return None, config
+    checkpoint = SearchCheckpoint.load(arguments.resume)
+    print(f"resuming from {arguments.resume} "
+          f"(round {checkpoint.generation}, "
+          f"{len(checkpoint.cache_entries)} cached fitness results)")
+    restored = checkpoint.restore_config()
+    if restored != config:
+        print("note: resuming with the checkpoint's configuration; "
+              "--population/--generations/--seed flags are ignored")
+    return checkpoint, restored
 
 
 def _command_list() -> int:
@@ -120,21 +177,8 @@ def _command_search(arguments: argparse.Namespace) -> int:
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
-    engine = EvaluationEngine(adapter,
-                              executor=make_executor(arguments.jobs),
-                              cache=FitnessCache(arguments.cache))
-
-    resume_from = None
-    if arguments.resume is not None and os.path.exists(arguments.resume):
-        resume_from = SearchCheckpoint.load(arguments.resume)
-        print(f"resuming from {arguments.resume} "
-              f"(generation {resume_from.generation}, "
-              f"{len(resume_from.cache_entries)} cached fitness results)")
-        restored = resume_from.restore_config()
-        if restored != config:
-            print("note: resuming with the checkpoint's configuration; "
-                  "--population/--generations/--seed flags are ignored")
-        config = restored
+    engine = _make_engine(adapter, arguments)
+    resume_from, config = _load_resume_checkpoint(arguments, config)
 
     print(f"searching {adapter.name}: population={config.population_size}, "
           f"generations={config.generations}, executor={engine.executor.name}")
@@ -142,7 +186,7 @@ def _command_search(arguments: argparse.Namespace) -> int:
         result = GevoSearch(adapter, config, engine=engine).run(
             validate_best=True,
             checkpoint_path=arguments.resume,
-            checkpoint_every=arguments.checkpoint_every,
+            checkpoint_every=arguments.checkpoint_every or 1,
             resume_from=resume_from,
         )
     finally:
@@ -157,6 +201,52 @@ def _command_search(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_baseline(arguments: argparse.Namespace) -> int:
+    adapter = _make_adapter(arguments.workload, arguments.arch)
+    config = GevoConfig.quick(seed=arguments.seed,
+                              population_size=arguments.population,
+                              generations=arguments.generations)
+    engine = _make_engine(adapter, arguments)
+    resume_from, config = _load_resume_checkpoint(arguments, config)
+
+    method = "random search" if arguments.method == "random" else "hill climbing"
+    budget = (arguments.steps
+              if arguments.method == "hill" and arguments.steps is not None
+              else config.population_size * config.generations)
+    print(f"{method} on {adapter.name}: budget={budget}, "
+          f"executor={engine.executor.name}")
+    try:
+        if arguments.method == "random":
+            search = RandomSearch(adapter, config, engine=engine)
+            result = search.run(checkpoint_path=arguments.resume,
+                                checkpoint_every=arguments.checkpoint_every or 1,
+                                resume_from=resume_from)
+            edits = len(result.best.edits) if result.best is not None else 0
+            print(f"best speedup: {result.speedup:.3f}x with {edits} edits "
+                  f"({result.evaluations} evaluations, "
+                  f"{result.wall_clock_seconds:.1f}s)")
+        else:
+            # A hill-climbing "round" is one evaluation, and every
+            # checkpoint re-serialises the whole cache: default to one
+            # checkpoint per population-size steps, not per step.
+            checkpoint_every = (arguments.checkpoint_every
+                                or max(1, config.population_size))
+            search = HillClimber(adapter, config, engine=engine)
+            result = search.run(steps=arguments.steps,
+                                checkpoint_path=arguments.resume,
+                                checkpoint_every=checkpoint_every,
+                                resume_from=resume_from)
+            print(f"best speedup: {result.speedup:.3f}x with {len(result.best.edits)} "
+                  f"edits ({result.accepted_edits} accepted / "
+                  f"{result.rejected_edits} rejected, "
+                  f"{result.evaluations} evaluations, "
+                  f"{result.wall_clock_seconds:.1f}s)")
+    finally:
+        engine.close()
+    print(f"runtime: {engine.stats().summary()}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by ``python -m repro.cli``."""
     arguments = _build_parser().parse_args(argv)
@@ -165,6 +255,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.command == "run":
         return _command_run(arguments)
     try:
+        if arguments.command == "baseline":
+            return _command_baseline(arguments)
         return _command_search(arguments)
     except SearchError as error:
         print(f"error: {error}", file=sys.stderr)

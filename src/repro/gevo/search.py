@@ -60,7 +60,15 @@ class SearchResult:
 
 
 class GevoSearch:
-    """Evolutionary search driver."""
+    """Evolutionary search driver.
+
+    Conforms to :class:`~repro.runtime.checkpoint.CheckpointableSearch`:
+    the working state of the generational loop lives on the instance, so
+    :meth:`capture_checkpoint` / :meth:`restore_checkpoint` can snapshot
+    and restore a run at any generation boundary.
+    """
+
+    algorithm = "gevo"
 
     def __init__(self, adapter: WorkloadAdapter, config: GevoConfig,
                  *, progress: Optional[Callable[[int, SearchHistory], None]] = None,
@@ -75,6 +83,13 @@ class GevoSearch:
                                        weights=config.edit_weights,
                                        candidate_edits=candidate_edits,
                                        candidate_probability=candidate_probability)
+        # Working state of the generational loop (captured by checkpoints).
+        self._population: List[Individual] = []
+        self._best: Optional[Individual] = None
+        self._generation = 0
+        self._stagnation = 0
+        self._history: Optional[SearchHistory] = None
+        self._evaluations_before_resume = 0
 
     # -- main loop -----------------------------------------------------------------------
     def run(self, *, validate_best: bool = False,
@@ -89,34 +104,20 @@ class GevoSearch:
         continues an interrupted run from its last checkpoint instead of
         starting fresh.
         """
-        from ..runtime.checkpoint import SearchCheckpoint
+        from ..runtime.checkpoint import resolve_checkpoint
 
         config = self.config
         engine = self.evaluator.engine
         start = time.perf_counter()
-        evaluations_before_resume = 0
-        stagnation = 0
-        start_generation = 0
+        self._evaluations_before_resume = 0
+        self._stagnation = 0
+        self._generation = 0
 
         if resume_from is not None:
-            checkpoint = (SearchCheckpoint.load(resume_from)
-                          if isinstance(resume_from, str) else resume_from)
-            if checkpoint.restore_config() != config:
-                raise SearchError(
-                    "checkpoint was recorded with a different GevoConfig; resume with "
-                    "the original configuration (or start a fresh search)")
-            if checkpoint.workload_id != engine.workload_id:
-                raise SearchError(
-                    f"checkpoint belongs to workload {checkpoint.workload_id!r}, "
-                    f"not {engine.workload_id!r}")
-            engine.cache.import_entries(checkpoint.cache_entries)
-            history = checkpoint.restore_history()
-            population = checkpoint.restore_population()
-            best_so_far = checkpoint.restore_best()
-            stagnation = checkpoint.stagnation
-            start_generation = checkpoint.generation
-            evaluations_before_resume = checkpoint.evaluations
-            self.rng.setstate(checkpoint.restore_rng_state())
+            checkpoint = resolve_checkpoint(resume_from, algorithm=self.algorithm,
+                                            workload_id=engine.workload_id,
+                                            config=config)
+            self.restore_checkpoint(checkpoint)
             baseline = engine.baseline()
         else:
             baseline = engine.baseline()
@@ -124,44 +125,52 @@ class GevoSearch:
                 raise SearchError(
                     f"the unmodified program of workload {self.adapter.name!r} fails its own "
                     "test cases; fix the workload before searching")
-            history = SearchHistory(baseline_runtime=baseline.runtime_ms)
-            population = seed_population(config.population_size)
-            self.evaluator.evaluate_population(population)
-            best_so_far = best_individual(population)
+            self._history = SearchHistory(baseline_runtime=baseline.runtime_ms)
+            self._population = seed_population(config.population_size)
+            self.evaluator.evaluate_population(self._population)
+            self._best = best_individual(self._population)
+        history = self._history
 
-        for generation in range(start_generation + 1, config.generations + 1):
-            population = self._next_generation(population)
-            self.evaluator.evaluate_population(population)
-            generation_best = best_individual(population)
+        for generation in range(self._generation + 1, config.generations + 1):
+            # Checked at the top so a resumed run that had already stopped
+            # on stagnation stops again immediately instead of evaluating
+            # one extra generation (which would break resume equivalence).
+            if config.stagnation_limit and self._stagnation >= config.stagnation_limit:
+                break
+            self._population = self._next_generation(self._population)
+            self.evaluator.evaluate_population(self._population)
+            generation_best = best_individual(self._population)
             if generation_best is not None and (
-                    best_so_far is None
-                    or (generation_best.fitness or math.inf) < (best_so_far.fitness or math.inf)):
-                best_so_far = generation_best
-                stagnation = 0
+                    self._best is None
+                    or (generation_best.fitness or math.inf) < (self._best.fitness or math.inf)):
+                self._best = generation_best
+                self._stagnation = 0
             else:
-                stagnation += 1
-            history.record_generation(generation, population, best_so_far,
-                                      self.total_evaluations(evaluations_before_resume))
+                self._stagnation += 1
+            self._generation = generation
+            history.record_generation(generation, self._population, self._best,
+                                      self.total_evaluations(self._evaluations_before_resume))
             if self.progress is not None:
                 self.progress(generation, history)
             if checkpoint_path is not None and generation % max(1, checkpoint_every) == 0:
-                self._save_checkpoint(checkpoint_path, generation, stagnation,
-                                      population, best_so_far, history,
-                                      evaluations_before_resume, baseline)
-            if config.stagnation_limit and stagnation >= config.stagnation_limit:
-                break
+                self.capture_checkpoint().save(checkpoint_path)
+        if checkpoint_path is not None:
+            # Final state, regardless of the cadence: re-running the same
+            # command resumes (and immediately finishes) instead of
+            # repeating the tail since the last periodic checkpoint.
+            self.capture_checkpoint().save(checkpoint_path)
 
         validation = None
-        if validate_best and best_so_far is not None:
-            applied = apply_edits(self.evaluator.original, best_so_far.edits)
+        if validate_best and self._best is not None:
+            applied = apply_edits(self.evaluator.original, self._best.edits)
             validation = self.adapter.validate(applied.module)
 
         return SearchResult(
-            best=best_so_far,
+            best=self._best,
             history=history,
             baseline=baseline,
             config=config,
-            evaluations=self.total_evaluations(evaluations_before_resume),
+            evaluations=self.total_evaluations(self._evaluations_before_resume),
             wall_clock_seconds=time.perf_counter() - start,
             validation=validation,
         )
@@ -169,27 +178,26 @@ class GevoSearch:
     def total_evaluations(self, evaluations_before_resume: int = 0) -> int:
         return self.evaluator.evaluations + evaluations_before_resume
 
-    def _save_checkpoint(self, path: str, generation: int, stagnation: int,
-                         population: List[Individual], best: Optional[Individual],
-                         history: SearchHistory, evaluations_before_resume: int,
-                         baseline: FitnessResult) -> None:
-        from ..runtime.checkpoint import SearchCheckpoint
+    # -- CheckpointableSearch ----------------------------------------------------------
+    def capture_checkpoint(self):
+        from ..runtime.checkpoint import capture_search_checkpoint, serialize_individual
 
-        engine = self.evaluator.engine
-        checkpoint = SearchCheckpoint.capture(
-            workload_id=engine.workload_id,
-            config=self.config,
-            generation=generation,
-            stagnation=stagnation,
-            rng_state=self.rng.getstate(),
-            population=population,
-            best=best,
-            evaluations=self.total_evaluations(evaluations_before_resume),
-            history=history,
-            baseline_runtime=baseline.runtime_ms,
-            cache_entries=engine.cache.export_entries(),
-        )
-        checkpoint.save(path)
+        return capture_search_checkpoint(self, state={
+            "generation": self._generation,
+            "stagnation": self._stagnation,
+            "population": [serialize_individual(ind) for ind in self._population],
+            "best": (serialize_individual(self._best)
+                     if self._best is not None else None),
+        })
+
+    def restore_checkpoint(self, checkpoint) -> None:
+        from ..runtime.checkpoint import restore_search_checkpoint
+
+        restore_search_checkpoint(self, checkpoint)
+        self._population = checkpoint.restore_population()
+        self._best = checkpoint.restore_best()
+        self._stagnation = int(checkpoint.state.get("stagnation", 0))
+        self._generation = checkpoint.generation
 
     # -- generation construction ------------------------------------------------------------
     def _next_generation(self, population: List[Individual]) -> List[Individual]:

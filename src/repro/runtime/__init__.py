@@ -8,28 +8,38 @@ process pool, against a persistent cache).  Typical usage::
 
     engine = EvaluationEngine(adapter,
                               executor=make_executor(jobs=4),
-                              cache=FitnessCache("fitness-cache.json"))
+                              cache=FitnessCache("fitness-cache.sqlite"))
     results = engine.evaluate_many([ind.edits for ind in population])
     ...
     engine.close()   # flush the cache, stop the workers
 
 See :mod:`repro.runtime.engine` (executors + batch API),
-:mod:`repro.runtime.cache` (content-addressed fitness cache) and
-:mod:`repro.runtime.checkpoint` (search checkpoint/resume).
+:mod:`repro.runtime.cache` (content-addressed fitness cache and the
+pluggable :class:`CacheStore` backends -- whole-document JSON or
+incremental WAL-mode SQLite, see :mod:`repro.runtime.sqlite_store`) and
+:mod:`repro.runtime.checkpoint` (the :class:`CheckpointableSearch`
+protocol behind checkpoint/resume for GEVO and both baselines).
 """
 
 from .cache import (
     CacheKey,
     CacheStats,
+    CacheStore,
     FitnessCache,
+    JsonCacheStore,
     canonical_edit_hash,
     canonical_edit_key,
+    make_cache_store,
     result_from_dict,
     result_to_dict,
 )
 from .checkpoint import (
+    CheckpointableSearch,
     SearchCheckpoint,
+    deserialize_history,
     deserialize_individual,
+    resolve_checkpoint,
+    serialize_history,
     serialize_individual,
 )
 from .engine import (
@@ -41,23 +51,32 @@ from .engine import (
     default_jobs,
     make_executor,
 )
+from .sqlite_store import SqliteCacheStore
 
 __all__ = [
     "CacheKey",
     "CacheStats",
+    "CacheStore",
+    "CheckpointableSearch",
     "EngineStats",
     "EvaluationEngine",
     "Executor",
     "FitnessCache",
+    "JsonCacheStore",
     "ParallelExecutor",
     "SearchCheckpoint",
     "SerialExecutor",
+    "SqliteCacheStore",
     "canonical_edit_hash",
     "canonical_edit_key",
     "default_jobs",
+    "deserialize_history",
     "deserialize_individual",
+    "make_cache_store",
     "make_executor",
+    "resolve_checkpoint",
     "result_from_dict",
     "result_to_dict",
+    "serialize_history",
     "serialize_individual",
 ]

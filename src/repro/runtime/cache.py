@@ -16,13 +16,26 @@ evaluation runtime shares:
   (applying ``copy`` twice is not the same as applying it once), which is
   why the key is a sorted tuple rather than a frozen set.
 * :class:`FitnessCache` -- a two-tier cache: an always-on in-memory dict
-  plus an optional disk-persisted JSON tier that survives across runs.
-  Keys are ``(workload id, arch name, canonical edit-set hash)`` so one
-  cache file can serve many workloads and architectures at once.
+  plus an optional disk-persisted tier that survives across runs.  Keys
+  are ``(workload id, arch name, canonical edit-set hash)`` so one cache
+  file can serve many workloads and architectures at once.
 
-The disk format is a single JSON document (version-tagged) written
-atomically; ``inf`` runtimes of invalid variants round-trip through
-JSON's ``Infinity`` literal.
+Disk persistence is pluggable through the :class:`CacheStore` interface:
+
+* :class:`JsonCacheStore` -- a single version-tagged JSON document,
+  written atomically; every flush rewrites the whole file, which is fine
+  for small caches and keeps the file greppable.
+* :class:`~repro.runtime.sqlite_store.SqliteCacheStore` -- one row per
+  entry in a WAL-mode SQLite database; each flush upserts only the
+  entries added or changed since the last one, so flush cost is
+  O(new entries), not O(cache size).  The right tier for long sweeps.
+
+:func:`make_cache_store` picks a backend from an explicit name, the
+path's extension (``.sqlite`` / ``.sqlite3`` / ``.db``), or the on-disk
+file's magic bytes.  Both stores treat a cache file as disposable
+acceleration state: corrupt or incompatible files behave like empty ones.
+``inf`` runtimes of invalid variants round-trip through JSON's
+``Infinity`` literal in either backend.
 """
 
 from __future__ import annotations
@@ -32,14 +45,20 @@ import json
 import os
 import tempfile
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
 from ..gevo.edits import Edit
 from ..gevo.fitness import CaseResult, FitnessResult
 
 #: Bump when the on-disk layout or the key derivation changes.
 CACHE_FORMAT_VERSION = 1
+
+#: File extensions that select the SQLite backend under ``backend="auto"``.
+SQLITE_EXTENSIONS = (".sqlite", ".sqlite3", ".db")
+
+#: First bytes of every SQLite database file.
+SQLITE_MAGIC = b"SQLite format 3\x00"
 
 
 # -- canonical edit-set identity ------------------------------------------------------
@@ -99,6 +118,145 @@ def result_from_dict(data: Dict[str, object]) -> FitnessResult:
     return FitnessResult(valid=data["valid"], runtime_ms=data["runtime_ms"], cases=cases)
 
 
+# -- storage backends -----------------------------------------------------------------
+
+class CacheStore:
+    """Persistence strategy for a :class:`FitnessCache`.
+
+    A store maps key strings (``CacheKey.to_string()``) to serialised
+    :class:`FitnessResult` payloads.  Contract:
+
+    * :meth:`load` returns everything currently on disk; missing, corrupt
+      or version-incompatible files load as *empty* (a cache is disposable
+      acceleration state, never irreplaceable).
+    * :meth:`flush` persists the cache atomically with respect to readers
+      and crashes: an interrupted flush must leave the previous on-disk
+      state loadable.
+    * Stores may ignore ``dirty_keys`` (the JSON tier rewrites the whole
+      document anyway) or use it to write incrementally (the SQLite tier
+      upserts only those rows).
+    """
+
+    backend = "store"
+    #: Suggested minimum seconds between hot-path flushes (see
+    #: :meth:`FitnessCache.maybe_save`).  Stores with O(dirty) flush cost
+    #: can afford 0; stores with O(cache) flush cost should rate-limit.
+    flush_interval = 5.0
+
+    def __init__(self, path: str):
+        self.path = path
+        #: Entries written by the most recent :meth:`flush` (observability
+        #: hook; the incremental-flush tests pin the SQLite tier with it).
+        self.last_flush_count = 0
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        raise NotImplementedError
+
+    def flush(self, entries: Dict[CacheKey, FitnessResult],
+              dirty_keys: Set[CacheKey]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (connections); idempotent."""
+
+
+def read_json_cache_document(path: str) -> Optional[Dict[str, Dict[str, object]]]:
+    """Entries of the JSON cache document at *path*, or ``None``.
+
+    ``None`` means "not a usable cache document": missing, unreadable,
+    unparseable, or an incompatible format version (stale data, not an
+    error).  A valid-but-empty cache returns ``{}``.  Shared by the JSON
+    tier's :meth:`JsonCacheStore.load` and the SQLite tier's one-time
+    migration, so the two readers cannot drift apart.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (ValueError, OSError):
+        return None
+    if not isinstance(document, dict) or document.get("version") != CACHE_FORMAT_VERSION:
+        return None
+    entries = document.get("entries", {})
+    return entries if isinstance(entries, dict) else None
+
+
+class JsonCacheStore(CacheStore):
+    """The original single-document JSON tier.
+
+    Every flush serialises the full entry map and atomically replaces the
+    file (tmp file + rename), so a crash mid-write never damages the
+    previous document.  Simple and human-readable, but flush cost grows
+    with the cache: prefer the SQLite tier past a few thousand entries.
+    """
+
+    backend = "json"
+    flush_interval = 5.0
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        # A corrupt or incompatible document behaves like an empty cache
+        # (and is replaced wholesale on the next flush).
+        entries = read_json_cache_document(self.path)
+        return entries if entries is not None else {}
+
+    def flush(self, entries, dirty_keys) -> None:
+        document = {
+            "version": CACHE_FORMAT_VERSION,
+            "entries": {key.to_string(): result_to_dict(result)
+                        for key, result in entries.items()},
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        self.last_flush_count = len(entries)
+
+
+def make_cache_store(path: str, backend: Optional[str] = None) -> CacheStore:
+    """Build the cache store for *path*.
+
+    ``backend`` may be ``"json"``, ``"sqlite"``, or ``None``/``"auto"``.
+    Auto-detection prefers, in order: a SQLite file extension
+    (``.sqlite`` / ``.sqlite3`` / ``.db``), the SQLite magic bytes of an
+    existing file at *path*, and finally the JSON tier.  An existing JSON
+    cache opened with the SQLite backend is migrated in place on first
+    open (see :class:`~repro.runtime.sqlite_store.SqliteCacheStore`).
+    """
+    if backend in (None, "auto"):
+        extension = os.path.splitext(path)[1].lower()
+        if extension in SQLITE_EXTENSIONS:
+            backend = "sqlite"
+        elif _file_has_sqlite_magic(path):
+            backend = "sqlite"
+        else:
+            backend = "json"
+    if backend == "json":
+        return JsonCacheStore(path)
+    if backend == "sqlite":
+        from .sqlite_store import SqliteCacheStore
+
+        return SqliteCacheStore(path)
+    raise ValueError(f"unknown cache backend {backend!r} (expected 'auto', 'json' or 'sqlite')")
+
+
+def _file_has_sqlite_magic(path: str) -> bool:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+# -- the cache ------------------------------------------------------------------------
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting for one :class:`FitnessCache`."""
@@ -123,22 +281,49 @@ class CacheStats:
 
 
 class FitnessCache:
-    """In-memory fitness cache with an optional persistent JSON tier.
+    """In-memory fitness cache with an optional persistent disk tier.
 
     With ``path=None`` the cache is purely in-memory (the default for
     tests and one-shot runs).  With a path, :meth:`load` pre-populates the
-    memory tier from disk and :meth:`save` writes it back atomically;
-    saving is a no-op unless entries were added since the last write.
+    memory tier from disk and :meth:`save` writes new/changed entries back
+    through the configured :class:`CacheStore`; saving is a no-op unless
+    entries were added or overwritten since the last write.
+
+    ``backend`` selects the disk tier (``"auto"``/``"json"``/``"sqlite"``,
+    see :func:`make_cache_store`); a pre-built store can be passed as
+    ``store=`` instead of a path.
     """
 
-    def __init__(self, path: Optional[str] = None, *, autoload: bool = True):
-        self.path = path
+    def __init__(self, path: Optional[str] = None, *, backend: Optional[str] = None,
+                 store: Optional[CacheStore] = None, autoload: bool = True):
+        if store is not None:
+            self._store: Optional[CacheStore] = store
+        elif path is not None:
+            self._store = make_cache_store(path, backend)
+        else:
+            self._store = None
         self.stats = CacheStats()
         self._entries: Dict[CacheKey, FitnessResult] = {}
-        self._dirty = False
+        self._dirty_keys: Set[CacheKey] = set()
         self._last_save = 0.0
-        if path is not None and autoload:
+        if self._store is not None and autoload:
             self.load()
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._store.path if self._store is not None else None
+
+    @property
+    def store(self) -> Optional[CacheStore]:
+        return self._store
+
+    @property
+    def backend(self) -> Optional[str]:
+        return self._store.backend if self._store is not None else None
+
+    @property
+    def _dirty(self) -> bool:
+        return bool(self._dirty_keys)
 
     # -- lookup ------------------------------------------------------------------------
     def get(self, key: CacheKey) -> Optional[FitnessResult]:
@@ -154,9 +339,15 @@ class FitnessCache:
         return self._entries.get(key)
 
     def put(self, key: CacheKey, result: FitnessResult) -> None:
-        if key not in self._entries:
+        existing = self._entries.get(key)
+        if existing is None:
             self.stats.stores += 1
-            self._dirty = True
+            self._dirty_keys.add(key)
+        elif existing != result:
+            # Overwriting with a different result must persist too -- the
+            # original implementation only marked new keys dirty, so a
+            # changed entry silently evaporated at the next save.
+            self._dirty_keys.add(key)
         self._entries[key] = result
 
     def __len__(self) -> int:
@@ -167,27 +358,15 @@ class FitnessCache:
 
     # -- persistence -------------------------------------------------------------------
     def load(self) -> int:
-        """Merge entries from :attr:`path` into the memory tier.
+        """Merge entries from the disk tier into the memory tier.
 
         Returns the number of entries loaded; a missing file loads zero
         entries (first run with a fresh cache path).
         """
-        if self.path is None or not os.path.exists(self.path):
-            return 0
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (ValueError, OSError):
-            # A cache is disposable acceleration state: a corrupt or
-            # unreadable file behaves like an empty one (and is replaced
-            # wholesale on the next save).
-            self._dirty = True
-            return 0
-        if not isinstance(document, dict) or document.get("version") != CACHE_FORMAT_VERSION:
-            # An incompatible cache is stale data, not an error: ignore it.
+        if self._store is None:
             return 0
         loaded = 0
-        for key_text, payload in document.get("entries", {}).items():
+        for key_text, payload in self._store.load().items():
             try:
                 key = CacheKey.from_string(key_text)
                 result = result_from_dict(payload)
@@ -200,41 +379,37 @@ class FitnessCache:
         return loaded
 
     def save(self, *, force: bool = False) -> bool:
-        """Atomically write the memory tier to :attr:`path` when dirty."""
-        if self.path is None or (not self._dirty and not force):
+        """Write new/changed entries through the disk tier when dirty."""
+        if self._store is None or (not self._dirty_keys and not force):
             return False
-        document = {
-            "version": CACHE_FORMAT_VERSION,
-            "entries": {key.to_string(): result_to_dict(result)
-                        for key, result in self._entries.items()},
-        }
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(document, handle)
-            os.replace(temp_path, self.path)
-        except BaseException:
-            if os.path.exists(temp_path):
-                os.unlink(temp_path)
-            raise
-        self._dirty = False
+        dirty = set(self._entries) if force else set(self._dirty_keys)
+        self._store.flush(self._entries, dirty)
+        self._dirty_keys.clear()
         self._last_save = time.monotonic()
         return True
 
-    def maybe_save(self, min_interval_seconds: float = 5.0) -> bool:
+    def maybe_save(self, min_interval_seconds: Optional[float] = None) -> bool:
         """Save, but at most once per *min_interval_seconds*.
 
-        The JSON tier rewrites the whole file on every save, so flushing
-        after every evaluation batch would cost O(total entries) I/O per
-        generation.  The engine calls this on its hot path; an unclean
-        exit loses at most the last interval's entries (and a checkpointed
-        search loses nothing -- the checkpoint carries the cache too).
+        The interval defaults to the store's own ``flush_interval``: the
+        JSON tier rewrites the whole file per save, so hot-path flushes
+        are rate-limited (an unclean exit loses at most the last
+        interval's entries); the SQLite tier upserts only dirty rows, so
+        it flushes every time and an unclean exit loses nothing already
+        handed to ``put``.
         """
+        if min_interval_seconds is None:
+            min_interval_seconds = (self._store.flush_interval
+                                    if self._store is not None else 0.0)
         if time.monotonic() - self._last_save < min_interval_seconds:
             return False
         return self.save()
+
+    def close(self) -> None:
+        """Flush pending entries and release the disk tier's resources."""
+        self.save()
+        if self._store is not None:
+            self._store.close()
 
     # -- bulk import/export (used by checkpoints) --------------------------------------
     def export_entries(self) -> Dict[str, Dict[str, object]]:
@@ -247,6 +422,6 @@ class FitnessCache:
             key = CacheKey.from_string(key_text)
             if key not in self._entries:
                 self._entries[key] = result_from_dict(payload)
-                self._dirty = True
+                self._dirty_keys.add(key)
                 imported += 1
         return imported

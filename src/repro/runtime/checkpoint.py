@@ -1,24 +1,37 @@
-"""Checkpoint/resume for long-running GEVO searches.
+"""Checkpoint/resume for long-running searches.
 
 A paper-scale GEVO run is days of wall clock (population 256 x 300
 generations x a full test-suite evaluation per variant); with the
 simulated GPU the scaled-down runs are still the slowest thing in the
-repo.  A :class:`SearchCheckpoint` captures everything the generational
-loop needs to continue exactly where it stopped:
+repo -- and the random-search and hill-climbing baselines burn the same
+evaluation budget.  A :class:`SearchCheckpoint` captures everything *any*
+of the search loops needs to continue exactly where it stopped:
 
-* the population and best-so-far individual (edit lists + fitness),
-* the generation counter and stagnation counter,
+* which algorithm wrote it (``algorithm``), so a hill-climber checkpoint
+  can never silently resume a GEVO run;
 * the Mersenne-Twister state of the search RNG,
-* the recorded :class:`~repro.gevo.history.SearchHistory`,
+* the recorded :class:`~repro.gevo.history.SearchHistory` and the
+  cumulative evaluation count,
 * the search configuration (for mismatch detection on resume),
 * the fitness-cache contents, so no variant evaluated before the
-  interruption is ever re-simulated.
+  interruption is ever re-simulated,
+* an algorithm-specific ``state`` payload -- GEVO stores its population,
+  best individual and generation/stagnation counters there; random search
+  its generation counter and best-so-far; the hill climber its current
+  individual, step counter and accepted/rejected tallies.
+
+Any search that wants checkpointing implements the tiny
+:class:`CheckpointableSearch` shape -- ``algorithm`` plus
+``capture_checkpoint()`` / ``restore_checkpoint()`` -- and validates an
+incoming checkpoint through :func:`resolve_checkpoint`, which funnels all
+the algorithm/workload/config mismatch checks through one place.
 
 Checkpoints are plain JSON; ``inf`` fitness values round-trip through
 JSON's ``Infinity`` literal.  Resuming with the same seed reproduces the
-uninterrupted run bit-for-bit (pinned by
-``tests/runtime/test_checkpoint.py``) because the RNG state, population
-order and history are all restored verbatim.
+uninterrupted run bit-for-bit (pinned by ``tests/runtime/test_checkpoint.py``
+for GEVO and ``tests/runtime/test_baseline_resume.py`` for the baselines)
+because the RNG state, working individuals and history are all restored
+verbatim.
 """
 
 from __future__ import annotations
@@ -28,7 +41,7 @@ import json
 import os
 import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SearchError
 from ..gevo.config import GevoConfig
@@ -36,7 +49,10 @@ from ..gevo.edits import Edit, edit_from_dict
 from ..gevo.genome import Individual
 from ..gevo.history import GenerationRecord, SearchHistory
 
-CHECKPOINT_FORMAT_VERSION = 1
+#: Version 2 added the ``algorithm`` discriminator and moved the
+#: gevo-specific fields (population, generation, stagnation, best) into
+#: the per-algorithm ``state`` payload.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 # -- primitive (de)serialisation helpers ---------------------------------------------
@@ -135,59 +151,72 @@ def deserialize_rng_state(data) -> Tuple:
 
 @dataclass
 class SearchCheckpoint:
-    """Complete restartable state of one interrupted GEVO search."""
+    """Complete restartable state of one interrupted search run."""
 
+    #: Which search loop wrote this checkpoint ("gevo", "random_search",
+    #: "hill_climber", ...); resume refuses a mismatched algorithm.
+    algorithm: str
     workload_id: str
     config: Dict[str, object]
-    generation: int
-    stagnation: int
     rng_state: List[object]
-    population: List[Dict[str, object]]
-    best: Optional[Dict[str, object]]
     evaluations: int
     history: Dict[str, object]
     baseline_runtime: float
+    #: Algorithm-specific payload (population, counters, working
+    #: individuals ...); the owning search defines its shape.
+    state: Dict[str, object] = field(default_factory=dict)
     cache_entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
     version: int = CHECKPOINT_FORMAT_VERSION
 
     # -- construction ------------------------------------------------------------------
     @classmethod
-    def capture(cls, *, workload_id: str, config: GevoConfig, generation: int,
-                stagnation: int, rng_state, population: Sequence[Individual],
-                best: Optional[Individual], evaluations: int,
-                history: SearchHistory, baseline_runtime: float,
+    def capture(cls, *, algorithm: str, workload_id: str, config: GevoConfig,
+                rng_state, evaluations: int, history: SearchHistory,
+                baseline_runtime: float, state: Dict[str, object],
                 cache_entries: Optional[Dict[str, Dict[str, object]]] = None,
                 ) -> "SearchCheckpoint":
         return cls(
+            algorithm=algorithm,
             workload_id=workload_id,
             config=dataclasses.asdict(config),
-            generation=generation,
-            stagnation=stagnation,
             rng_state=serialize_rng_state(rng_state),
-            population=[serialize_individual(ind) for ind in population],
-            best=serialize_individual(best) if best is not None else None,
             evaluations=evaluations,
             history=serialize_history(history),
             baseline_runtime=baseline_runtime,
+            state=dict(state),
             cache_entries=dict(cache_entries or {}),
         )
 
     # -- restoration -------------------------------------------------------------------
     def restore_config(self) -> GevoConfig:
-        data = dict(self.config)
-        return GevoConfig(**data)
-
-    def restore_population(self) -> List[Individual]:
-        return [deserialize_individual(ind) for ind in self.population]
-
-    def restore_best(self) -> Optional[Individual]:
-        return deserialize_individual(self.best) if self.best is not None else None
+        return GevoConfig(**dict(self.config))
 
     def restore_history(self) -> SearchHistory:
         return deserialize_history(self.history)
 
     def restore_rng_state(self) -> Tuple:
         return deserialize_rng_state(self.rng_state)
+
+    def restore_individual(self, name: str) -> Optional[Individual]:
+        """Deserialize an optional :class:`Individual` from :attr:`state`."""
+        data = self.state.get(name)
+        return deserialize_individual(data) if data is not None else None
+
+    def restore_individuals(self, name: str) -> List[Individual]:
+        """Deserialize a list of individuals from :attr:`state`."""
+        return [deserialize_individual(item) for item in self.state.get(name, [])]
+
+    # -- convenience accessors (shared state fields) -----------------------------------
+    @property
+    def generation(self) -> int:
+        """Generation/step counter, whatever the algorithm calls it."""
+        return int(self.state.get("generation", self.state.get("step", 0)))
+
+    def restore_population(self) -> List[Individual]:
+        return self.restore_individuals("population")
+
+    def restore_best(self) -> Optional[Individual]:
+        return self.restore_individual("best")
 
     # -- persistence -------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -237,3 +266,95 @@ class SearchCheckpoint:
             raise SearchError(
                 f"checkpoint {path!r} is malformed (missing or mistyped field: {exc})"
             ) from exc
+
+
+# -- the resumable-search contract ---------------------------------------------------
+
+class CheckpointableSearch:
+    """Shape a search loop implements to participate in checkpoint/resume.
+
+    This is a protocol in spirit (``typing.Protocol`` is avoided to keep
+    the runtime dependency-free and subclass-friendly): a search declares
+    its ``algorithm`` name and can serialise itself into / restore itself
+    from a :class:`SearchCheckpoint`.  ``GevoSearch``, ``RandomSearch``
+    and ``HillClimber`` all conform; anything new (simulated annealing,
+    multi-start portfolios) only has to fill in the ``state`` payload.
+
+    Conforming searches expose ``config``, ``rng``, an ``evaluator``
+    (whose engine owns the cache), a recorded ``_history`` and an
+    ``_evaluations_before_resume`` offset; with those in place the
+    algorithm-agnostic plumbing is handled by
+    :func:`capture_search_checkpoint` / :func:`restore_search_checkpoint`
+    and only the ``state`` payload is per-algorithm.
+    """
+
+    #: Discriminator recorded in every checkpoint this search writes.
+    algorithm: str = "search"
+
+    def capture_checkpoint(self) -> SearchCheckpoint:
+        raise NotImplementedError
+
+    def restore_checkpoint(self, checkpoint: SearchCheckpoint) -> None:
+        raise NotImplementedError
+
+
+def capture_search_checkpoint(search, state: Dict[str, object]) -> SearchCheckpoint:
+    """The algorithm-agnostic half of ``capture_checkpoint``.
+
+    Snapshots everything every search records identically -- RNG state,
+    config, history, cumulative evaluations and the fitness-cache
+    contents -- around the algorithm-specific *state* payload.
+    """
+    engine = search.evaluator.engine
+    return SearchCheckpoint.capture(
+        algorithm=search.algorithm,
+        workload_id=engine.workload_id,
+        config=search.config,
+        rng_state=search.rng.getstate(),
+        evaluations=search.evaluator.evaluations + search._evaluations_before_resume,
+        history=search._history,
+        baseline_runtime=search._history.baseline_runtime,
+        state=state,
+        cache_entries=engine.cache.export_entries(),
+    )
+
+
+def restore_search_checkpoint(search, checkpoint: SearchCheckpoint) -> None:
+    """The algorithm-agnostic half of ``restore_checkpoint``.
+
+    Re-imports the cache, history, evaluation offset and RNG state; the
+    caller then applies its own ``state`` payload.
+    """
+    engine = search.evaluator.engine
+    engine.cache.import_entries(checkpoint.cache_entries)
+    search._history = checkpoint.restore_history()
+    search._evaluations_before_resume = checkpoint.evaluations
+    search.rng.setstate(checkpoint.restore_rng_state())
+
+
+def resolve_checkpoint(resume_from: Union[str, SearchCheckpoint], *,
+                       algorithm: str, workload_id: str,
+                       config: GevoConfig) -> SearchCheckpoint:
+    """Load and validate a checkpoint for one specific resume request.
+
+    ``resume_from`` may be a path or an already-loaded checkpoint.  The
+    checkpoint must have been written by the same *algorithm*, for the
+    same *workload*, under the same *config*; any mismatch raises
+    :class:`SearchError` (resuming under different settings would silently
+    produce a run that matches neither the old nor a fresh one).
+    """
+    checkpoint = (SearchCheckpoint.load(resume_from)
+                  if isinstance(resume_from, str) else resume_from)
+    if checkpoint.algorithm != algorithm:
+        raise SearchError(
+            f"checkpoint was written by the {checkpoint.algorithm!r} search, "
+            f"not {algorithm!r}; use the matching subcommand (or start fresh)")
+    if checkpoint.workload_id != workload_id:
+        raise SearchError(
+            f"checkpoint belongs to workload {checkpoint.workload_id!r}, "
+            f"not {workload_id!r}")
+    if checkpoint.restore_config() != config:
+        raise SearchError(
+            "checkpoint was recorded with a different configuration; resume with "
+            "the original configuration (or start a fresh search)")
+    return checkpoint

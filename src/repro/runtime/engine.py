@@ -237,6 +237,9 @@ class EvaluationEngine:
             for index, key in enumerate(keys):
                 if results[index] is None:
                     results[index] = fresh[pending[key]]
+            # Interval defaults to the cache store's own flush_interval:
+            # rate-limited for the whole-file JSON tier, every batch for
+            # the incremental SQLite tier.
             self.cache.maybe_save()
 
         return results  # type: ignore[return-value]
@@ -265,8 +268,8 @@ class EvaluationEngine:
         )
 
     def close(self) -> None:
-        """Flush the cache and release executor resources."""
-        self.cache.save()
+        """Flush the cache, release its disk tier and stop the executor."""
+        self.cache.close()
         self.executor.close()
 
     def __enter__(self) -> "EvaluationEngine":

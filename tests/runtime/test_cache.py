@@ -118,3 +118,29 @@ class TestFitnessCache:
     def test_key_string_round_trip_with_pipes_in_workload(self):
         key = CacheKey("toy|variant", "P100", "deadbeef")
         assert CacheKey.from_string(key.to_string()) == key
+
+    def test_overwriting_an_entry_with_a_changed_result_is_persisted(self, tmp_path):
+        # Regression: put() used to mark the cache dirty only for *new*
+        # keys, so overwriting an existing entry with a different result
+        # was silently dropped at the next save.
+        path = str(tmp_path / "cache.json")
+        cache = FitnessCache(path)
+        key = self._key()
+        cache.put(key, FitnessResult.from_cases([CaseResult("c", True, 4.5)]))
+        assert cache.save()
+
+        cache.put(key, FitnessResult.from_cases([CaseResult("c", True, 9.0)]))
+        assert cache.save()  # the changed entry is dirty again
+
+        reloaded = FitnessCache(path)
+        assert reloaded.peek(key).runtime_ms == 9.0
+
+    def test_overwriting_with_an_identical_result_stays_clean(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = FitnessCache(path)
+        key = self._key()
+        result = FitnessResult.from_cases([CaseResult("c", True, 4.5)])
+        cache.put(key, result)
+        assert cache.save()
+        cache.put(key, FitnessResult.from_cases([CaseResult("c", True, 4.5)]))
+        assert not cache.save()  # equal value: nothing new to persist

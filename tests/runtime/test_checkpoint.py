@@ -104,6 +104,23 @@ class TestResume:
         with pytest.raises(SearchError):
             GevoSearch(adapter, config).run(resume_from=path)
 
+    def test_resume_after_stagnation_stop_adds_nothing(self, adapter, tmp_path):
+        # Regression: the stagnation limit used to be checked only at the
+        # *end* of each generation, so resuming a stagnation-terminated
+        # run evaluated one extra generation past the stop.
+        config = GevoConfig.quick(seed=7, population_size=4,
+                                  generations=20).with_(stagnation_limit=2)
+        path = str(tmp_path / "ckpt.json")
+        uninterrupted = GevoSearch(adapter, config).run(checkpoint_path=path)
+        assert uninterrupted.history.generations() < config.generations  # it did stop early
+
+        engine = EvaluationEngine(adapter)
+        resumed = GevoSearch(adapter, config, engine=engine).run(resume_from=path)
+        assert engine.evaluations == 0
+        assert resumed.evaluations == uninterrupted.evaluations
+        assert (resumed.history.best_fitness_series()
+                == uninterrupted.history.best_fitness_series())
+
     def test_warm_persistent_cache_means_zero_evaluations_on_rerun(
             self, adapter, tmp_path):
         cache_path = str(tmp_path / "fitness.json")

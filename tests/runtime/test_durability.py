@@ -1,0 +1,168 @@
+"""Crash durability: an interrupted flush never damages the previous cache.
+
+A cache flush can die at any point (OOM kill, SIGKILL, full disk, power
+loss).  The contract for both disk tiers is the same: whatever was
+loadable before the interrupted flush is still loadable after it.  The
+JSON tier gets this from write-to-temp + atomic rename; the SQLite tier
+from transactional upserts.  These tests inject failures mid-flush and
+check the survivors.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.gevo.fitness import CaseResult, FitnessResult
+from repro.runtime import CacheKey, FitnessCache
+import repro.runtime.cache as cache_module
+import repro.runtime.sqlite_store as sqlite_module
+
+
+def _key(tag="abc"):
+    return CacheKey("toy", "P100", tag)
+
+
+def _result(runtime=1.0):
+    return FitnessResult.from_cases([CaseResult("c", True, runtime)])
+
+
+class _Boom(RuntimeError):
+    pass
+
+
+class TestJsonFlushCrash:
+    def _crash_during_dump(self, monkeypatch):
+        original_dump = json.dump
+
+        def exploding_dump(document, handle, **kwargs):
+            # Write a partial document, then die -- simulating a crash
+            # after some bytes already reached the temp file.
+            handle.write('{"version": ')
+            handle.flush()
+            raise _Boom("crashed mid-write")
+
+        monkeypatch.setattr(cache_module.json, "dump", exploding_dump)
+        return original_dump
+
+    def test_previous_file_survives_a_crashed_flush(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "cache.json")
+        cache = FitnessCache(path)
+        cache.put(_key("old"), _result(1.5))
+        assert cache.save()
+
+        cache.put(_key("new"), _result(2.5))
+        self._crash_during_dump(monkeypatch)
+        with pytest.raises(_Boom):
+            cache.save()
+        monkeypatch.undo()
+
+        # The crash never touched the real file: the pre-crash cache loads
+        # and the half-written temp file was cleaned up.
+        survivor = FitnessCache(path)
+        assert survivor.peek(_key("old")).runtime_ms == 1.5
+        assert survivor.peek(_key("new")) is None
+        assert [name for name in os.listdir(tmp_path)
+                if name.endswith(".tmp")] == []
+
+    def test_flush_can_be_retried_after_the_crash(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "cache.json")
+        cache = FitnessCache(path)
+        cache.put(_key("old"), _result(1.5))
+        cache.save()
+        cache.put(_key("new"), _result(2.5))
+        self._crash_during_dump(monkeypatch)
+        with pytest.raises(_Boom):
+            cache.save()
+        monkeypatch.undo()
+        # The entry is still dirty; the next save persists it.
+        assert cache.save()
+        assert FitnessCache(path).peek(_key("new")).runtime_ms == 2.5
+
+
+class TestSqliteFlushCrash:
+    def _crash_on_second_serialisation(self, monkeypatch):
+        original = sqlite_module.result_to_dict
+        calls = {"n": 0}
+
+        def exploding(result):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise _Boom("crashed mid-flush")
+            return original(result)
+
+        monkeypatch.setattr(sqlite_module, "result_to_dict", exploding)
+
+    def test_committed_rows_survive_a_crashed_flush(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "cache.sqlite")
+        cache = FitnessCache(path)
+        cache.put(_key("old"), _result(1.5))
+        assert cache.save()
+
+        cache.put(_key("a"), _result(2.0))
+        cache.put(_key("b"), _result(3.0))
+        self._crash_on_second_serialisation(monkeypatch)
+        with pytest.raises(_Boom):
+            cache.save()
+        monkeypatch.undo()
+        cache.store.close()
+
+        # The aborted transaction rolled back; the committed row survives.
+        survivor = FitnessCache(path)
+        assert survivor.peek(_key("old")).runtime_ms == 1.5
+        survivor.close()
+
+    def test_aborted_transaction_is_all_or_nothing(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "cache.sqlite")
+        cache = FitnessCache(path)
+        cache.put(_key("a"), _result(2.0))
+        cache.put(_key("b"), _result(3.0))
+        self._crash_on_second_serialisation(monkeypatch)
+        with pytest.raises(_Boom):
+            cache.save()
+        monkeypatch.undo()
+        cache.store.close()
+
+        # Neither dirty entry was committed: no torn flush.
+        survivor = FitnessCache(path)
+        assert len(survivor) == 0
+        survivor.close()
+
+    def test_flush_can_be_retried_after_the_crash(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "cache.sqlite")
+        cache = FitnessCache(path)
+        cache.put(_key("a"), _result(2.0))
+        cache.put(_key("b"), _result(3.0))
+        self._crash_on_second_serialisation(monkeypatch)
+        with pytest.raises(_Boom):
+            cache.save()
+        monkeypatch.undo()
+        assert cache.save()  # both entries still dirty, flushed together now
+        cache.close()
+        assert len(FitnessCache(path)) == 2
+
+
+class TestCheckpointWriteCrash:
+    def test_checkpoint_file_survives_a_crashed_save(self, tmp_path, monkeypatch):
+        from repro.gevo import GevoConfig, GevoSearch
+        from repro.runtime import SearchCheckpoint
+        import repro.runtime.checkpoint as checkpoint_module
+        from repro.workloads import ToyWorkloadAdapter
+
+        path = str(tmp_path / "ckpt.json")
+        config = GevoConfig.quick(seed=5, population_size=4, generations=2)
+        GevoSearch(ToyWorkloadAdapter(elements=64), config).run(checkpoint_path=path)
+        before = SearchCheckpoint.load(path)
+
+        def exploding_dump(document, handle, **kwargs):
+            handle.write("{")
+            raise _Boom("crashed mid-write")
+
+        monkeypatch.setattr(checkpoint_module.json, "dump", exploding_dump)
+        with pytest.raises(_Boom):
+            before.save(path)
+        monkeypatch.undo()
+
+        after = SearchCheckpoint.load(path)  # still the intact previous file
+        assert after.generation == before.generation
+        assert after.cache_entries == before.cache_entries

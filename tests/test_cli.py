@@ -34,6 +34,61 @@ class TestCli:
         output = capsys.readouterr().out
         assert "best speedup" in output
 
+    def test_search_with_sqlite_cache_backend(self, capsys, tmp_path):
+        cache = str(tmp_path / "fitness.json")  # extension overridden by the flag
+        assert main(["search", "toy", "--population", "6", "--generations", "2",
+                     "--cache", cache, "--cache-backend", "sqlite"]) == 0
+        with open(cache, "rb") as handle:
+            assert handle.read(16) == b"SQLite format 3\x00"
+
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBaselineCli:
+    def test_random_baseline_runs(self, capsys):
+        assert main(["baseline", "random", "toy", "--population", "6",
+                     "--generations", "2", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "random search" in output and "best speedup" in output
+
+    def test_hill_baseline_runs_with_steps(self, capsys):
+        assert main(["baseline", "hill", "toy", "--steps", "12", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "hill climbing" in output and "accepted" in output
+
+    def test_random_baseline_resumes_with_zero_reevaluations(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "ckpt.json")
+        cache = str(tmp_path / "fitness.sqlite")
+        argv = ["baseline", "random", "toy", "--population", "6", "--generations", "2",
+                "--seed", "3", "--cache", cache, "--resume", checkpoint]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # The first run completed, so the re-issued command resumes from the
+        # final checkpoint and re-simulates nothing.
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "resuming from" in output
+        assert "0 evaluations" in output
+
+    def test_hill_baseline_resume_round_trip(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "ckpt.json")
+        argv = ["baseline", "hill", "toy", "--steps", "10", "--seed", "3",
+                "--resume", checkpoint]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "resuming from" in output
+        assert "0 evaluations" in output
+
+    def test_mismatched_resume_is_a_clean_error(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "ckpt.json")
+        assert main(["baseline", "random", "toy", "--population", "6",
+                     "--generations", "2", "--seed", "3",
+                     "--resume", checkpoint]) == 0
+        capsys.readouterr()
+        # Same checkpoint, different algorithm: refused, not mangled.
+        assert main(["baseline", "hill", "toy", "--resume", checkpoint]) == 2
+        assert "random_search" in capsys.readouterr().err

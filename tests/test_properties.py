@@ -95,6 +95,85 @@ class TestIrProperties:
         assert parse_instruction(format_instruction(inst)).operands == inst.operands
 
 
+class TestCanonicalKeyProperties:
+    """The cache key is a pure function of the edit *multiset*.
+
+    Algorithms 1 and 2 treat an edit collection as a multiset, so every
+    permutation of an edit list must hash identically, while duplicating
+    an edit (applying ``copy`` twice) must change the hash.
+    """
+
+    @staticmethod
+    def _random_edits(seed, count):
+        kernel = build_toy_kernel()
+        generator = EditGenerator(kernel.module, random.Random(seed))
+        return [edit for edit in (generator.random_edit() for _ in range(count))
+                if edit is not None]
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           count=st.integers(min_value=1, max_value=12),
+           shuffle_seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_every_permutation_hashes_identically(self, seed, count, shuffle_seed):
+        from repro.runtime import canonical_edit_hash, canonical_edit_key
+
+        edits = self._random_edits(seed, count)
+        permuted = list(edits)
+        random.Random(shuffle_seed).shuffle(permuted)
+        assert canonical_edit_key(permuted) == canonical_edit_key(edits)
+        assert canonical_edit_hash(permuted) == canonical_edit_hash(edits)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           count=st.integers(min_value=1, max_value=8),
+           pick=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_duplicating_an_edit_changes_the_hash(self, seed, count, pick):
+        from repro.runtime import canonical_edit_hash
+
+        edits = self._random_edits(seed, count)
+        if not edits:
+            return
+        duplicated = edits + [edits[pick % len(edits)]]
+        assert canonical_edit_hash(duplicated) != canonical_edit_hash(edits)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           count=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_hash_depends_only_on_edit_keys(self, seed, count):
+        # Serialising and re-materialising the same edits gives the same
+        # hash: nothing identity- or memory-address-dependent leaks in.
+        from repro.gevo.edits import edit_from_dict
+        from repro.runtime import canonical_edit_hash
+
+        edits = self._random_edits(seed, count)
+        rebuilt = [edit_from_dict(edit.to_dict()) for edit in edits]
+        assert canonical_edit_hash(rebuilt) == canonical_edit_hash(edits)
+
+    def test_json_and_sqlite_tiers_agree_on_keys(self, tmp_path):
+        # A permuted edit list written through the JSON tier is found
+        # under the SQLite tier after migration: both index by the same
+        # canonical key.
+        from repro.gevo.fitness import CaseResult, FitnessResult
+        from repro.runtime import CacheKey, FitnessCache, canonical_edit_hash
+
+        edit_lists = [self._random_edits(seed, 6) for seed in range(8)]
+        path = str(tmp_path / "cache.json")
+        json_tier = FitnessCache(path, backend="json")
+        for index, edits in enumerate(edit_lists):
+            key = CacheKey("toy", "P100", canonical_edit_hash(edits))
+            json_tier.put(key, FitnessResult.from_cases(
+                [CaseResult("c", True, float(index))]))
+        json_tier.save()
+
+        sqlite_tier = FitnessCache(path, backend="sqlite")
+        for index, edits in enumerate(edit_lists):
+            permuted = list(edits)
+            random.Random(index + 99).shuffle(permuted)
+            key = CacheKey("toy", "P100", canonical_edit_hash(permuted))
+            assert sqlite_tier.peek(key).runtime_ms == float(index)
+        sqlite_tier.close()
+
+
 class TestEditRobustness:
     """Random edit lists never corrupt the module's structural invariants.
 
