@@ -3,12 +3,14 @@
 Every benchmark regenerates one of the paper's tables or figures through
 :mod:`repro.experiments` and prints the resulting table, so running::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/ -m slow -s
 
 reproduces the full evaluation section (at the scaled sizes documented in
-EXPERIMENTS.md).  Heavy experiments run exactly once per benchmark
-(``rounds=1``); the micro-benchmarks of the simulator itself use normal
-pytest-benchmark statistics.
+EXPERIMENTS.md; the experiment regenerations carry the ``slow`` marker,
+which the tier-1 default in ``pytest.ini`` deselects).  Heavy experiments
+run exactly once per benchmark (``rounds=1``); the micro-benchmarks of
+the simulator itself use normal pytest-benchmark statistics and stay in
+tier-1, including the fast-path regression gate.
 """
 
 from __future__ import annotations

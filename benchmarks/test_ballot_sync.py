@@ -1,8 +1,12 @@
 """Benchmark: Section VI-B (ballot_sync removal is Volta-specific)."""
 
+import pytest
+
 from repro.experiments import run_ballot_sync
 
 from .conftest import run_once
+
+pytestmark = pytest.mark.slow  # full experiment regeneration; excluded from tier-1
 
 
 def test_ballot_sync_removal_per_gpu(benchmark, report):

@@ -1,8 +1,12 @@
 """Benchmark: Section VI-D (SIMCoV boundary-check removal vs zero padding)."""
 
+import pytest
+
 from repro.experiments import run_boundary
 
 from .conftest import run_once
+
+pytestmark = pytest.mark.slow  # full experiment regeneration; excluded from tier-1
 
 
 def test_boundary_removal_vs_padding(benchmark, report):

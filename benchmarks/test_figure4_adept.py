@@ -6,9 +6,13 @@ than the naive V0), and GEVO still finds a further ~1.2-1.3x on top of the
 hand-tuned V1.
 """
 
+import pytest
+
 from repro.experiments import run_figure4
 
 from .conftest import run_once
+
+pytestmark = pytest.mark.slow  # full experiment regeneration; excluded from tier-1
 
 
 def test_figure4_adept_speedups(benchmark, report):

@@ -1,8 +1,12 @@
 """Benchmark: regenerate Figure 5 (SIMCoV speedups on three GPU generations)."""
 
+import pytest
+
 from repro.experiments import run_figure5
 
 from .conftest import run_once
+
+pytestmark = pytest.mark.slow  # full experiment regeneration; excluded from tier-1
 
 
 def test_figure5_simcov_speedups(benchmark, report):

@@ -6,9 +6,13 @@ best at least as good as the mean (the paper's argument for running GEVO
 multiple times).
 """
 
+import pytest
+
 from repro.experiments import run_figure6
 
 from .conftest import run_once
+
+pytestmark = pytest.mark.slow  # full experiment regeneration; excluded from tier-1
 
 
 def test_figure6_run_distribution(benchmark, report):

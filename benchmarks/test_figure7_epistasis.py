@@ -5,9 +5,13 @@ paper's dependency structure (8 and 10 depend on 6; 5, 8 and 10 fail
 alone; the full cluster gives the largest improvement).
 """
 
+import pytest
+
 from repro.experiments import run_figure7
 
 from .conftest import run_once
+
+pytestmark = pytest.mark.slow  # full experiment regeneration; excluded from tier-1
 
 
 def test_figure7_epistatic_cluster(benchmark, report):

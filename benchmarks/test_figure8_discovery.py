@@ -6,9 +6,13 @@ individual no later than its dependent edits (8, 10), and the staging edit
 (5) cannot be first.
 """
 
+import pytest
+
 from repro.experiments import run_figure8
 
 from .conftest import run_once
+
+pytestmark = pytest.mark.slow  # full experiment regeneration; excluded from tier-1
 
 
 def test_figure8_discovery_sequence(benchmark, report):

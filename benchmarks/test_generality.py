@@ -1,8 +1,12 @@
 """Benchmark: Section IV generality (cross-GPU portability of discovered edits)."""
 
+import pytest
+
 from repro.experiments import run_generality
 
 from .conftest import run_once
+
+pytestmark = pytest.mark.slow  # full experiment regeneration; excluded from tier-1
 
 
 def test_cross_gpu_portability(benchmark, report):

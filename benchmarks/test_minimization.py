@@ -1,5 +1,7 @@
 """Benchmark: Section V-A (Algorithm 1 weak-edit minimization on ADEPT-V1)."""
 
+import pytest
+
 from repro.analysis import identify_weak_edits
 from repro.gevo import OperandReplace
 from repro.gpu import get_arch
@@ -7,6 +9,8 @@ from repro.ir import Const
 from repro.workloads.adept import AdeptWorkloadAdapter, adept_v1_discovered_edits, search_pairs
 
 from .conftest import run_once
+
+pytestmark = pytest.mark.slow  # full experiment regeneration; excluded from tier-1
 
 
 def _run_minimization():

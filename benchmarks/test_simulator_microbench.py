@@ -1,16 +1,42 @@
 """Micro-benchmarks of the simulated GPU itself (wall-clock of the simulator).
 
-These are conventional pytest-benchmark measurements (multiple rounds) of
-the reproduction's own substrate, useful when tuning the interpreter.
+Two families live here:
+
+* conventional pytest-benchmark measurements of each workload's simulator
+  wall-clock, useful when tuning the interpreter;
+* the **fast-path regression gate**: timed comparisons of the decode-once
+  dispatch-table interpreter against the tree-walking reference on the
+  simulator hot loop, asserting a minimum speedup and appending every
+  measurement to ``BENCH_simulator.json`` so the trajectory of the
+  simulator's own performance accumulates across runs (CI restores the
+  previous trajectory with actions/cache before the gate and uploads the
+  grown file as an artifact).
 """
+
+import json
+import platform
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.gpu import GpuDevice, get_arch
+from repro.ir import KernelBuilder, Param, build_module
 from repro.workloads import ToyWorkloadAdapter
 from repro.workloads.adept import AdeptDriver, generate_pairs
 from repro.workloads.simcov import SimCovDriver, SimCovParams
+
+#: Appended to on every gate run: one JSON document holding a list of runs.
+BENCH_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+#: Required fast-path speedup over the reference interpreter on the
+#: straight-line hot loop (measured ~4-5x; 2.0 leaves headroom for CI noise).
+HOT_LOOP_MIN_SPEEDUP = 2.0
+
+#: Softer floor for the divergence/memory-heavy end-to-end workloads, where
+#: genuine model work (coalescing analysis, masked merges) bounds the gain.
+WORKLOAD_MIN_SPEEDUP = 1.15
 
 
 @pytest.fixture(scope="module")
@@ -18,6 +44,7 @@ def device():
     return GpuDevice(get_arch("P100"))
 
 
+# --------------------------------------------------------------------------- wall-clock benchmarks
 def test_toy_kernel_launch_wallclock(benchmark):
     adapter = ToyWorkloadAdapter(elements=256)
     module = adapter.original_module()
@@ -49,3 +76,126 @@ def test_simcov_step_wallclock(benchmark):
 
     runtime = benchmark.pedantic(simulate, rounds=3, iterations=1)
     assert runtime > 0
+
+
+# --------------------------------------------------------------------------- fast-path gate
+def build_hot_loop_module():
+    """A uniform, straight-line-heavy kernel: the interpreter's hot loop.
+
+    Full warps, no divergence, long arithmetic segments inside a counted
+    loop -- the shape fitness evaluation spends its cycles on, and the
+    case the decode-once batching is designed for.
+    """
+    b = KernelBuilder("hotloop", params=[Param("x", "buffer"), Param("out", "buffer"),
+                                         Param("n", "scalar")])
+    b.block("entry")
+    tid = b.tid_x()
+    bid = b.bid_x()
+    bdim = b.bdim_x()
+    gid = b.add(b.mul(bid, bdim), tid, dest="gid")
+    b.mov(b.load(b.reg("x"), gid), dest="acc")
+    with b.for_range("i", 0, b.reg("n")):
+        for _ in range(24):
+            b.mul(b.reg("acc"), 1.0000001, dest="t")
+            b.add(b.reg("t"), 0.5, dest="acc")
+    b.store(b.reg("out"), b.reg("gid"), b.reg("acc"))
+    b.ret()
+    return build_module("hot", b.build())
+
+
+def best_of(fn, repeat=5):
+    """Minimum wall-clock of *repeat* runs (discards scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_speedup(run_with_device, arch_name="P100", repeat=5):
+    """(fast_s, reference_s, fast LaunchResult-like, ref ditto) for one scenario.
+
+    ``run_with_device(device)`` must run the scenario on the given device
+    and return something with ``cycles``-comparable content (or None).
+    """
+    arch = get_arch(arch_name)
+    fast_device = GpuDevice(arch, fast_path=True)
+    reference_device = GpuDevice(arch, fast_path=False)
+    fast_result = run_with_device(fast_device)       # warm-up + decode
+    reference_result = run_with_device(reference_device)
+    fast_s = best_of(lambda: run_with_device(fast_device), repeat)
+    reference_s = best_of(lambda: run_with_device(reference_device), repeat)
+    return fast_s, reference_s, fast_result, reference_result
+
+
+def append_bench_entry(entry):
+    document = {"benchmark": "simulator_fast_path", "runs": []}
+    if BENCH_ARTIFACT.exists():
+        try:
+            loaded = json.loads(BENCH_ARTIFACT.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                document = loaded
+        except (ValueError, OSError):
+            pass  # a corrupt artifact restarts the trajectory
+    document["runs"].append(entry)
+    BENCH_ARTIFACT.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def test_fast_path_speedup_gate():
+    """Regression gate: the decoded interpreter must stay >= 2x on the hot loop.
+
+    Also records (and softly gates) the end-to-end workload speedups, and
+    re-checks bit-for-bit equivalence of the measured launches so a future
+    "optimization" cannot buy speed with drift.
+    """
+    module = build_hot_loop_module()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=256)
+    args = {"x": x, "out": np.zeros(256), "n": 40}
+
+    def hot_loop(device):
+        return device.launch(module, 4, 64, dict(args, out=np.zeros(256)),
+                             kernel_name="hotloop")
+
+    fast_s, reference_s, fast_result, reference_result = measure_speedup(hot_loop)
+    assert fast_result.cycles == reference_result.cycles
+    assert fast_result.counters == reference_result.counters
+    hot_speedup = reference_s / fast_s
+
+    # End-to-end workloads (divergence + memory traffic bound the gain).
+    pairs = generate_pairs(2, reference_length=48, query_length=30, seed=3)
+
+    def adept(device):
+        return AdeptDriver.for_version("v1", pairs, device).run(pairs)
+
+    adept_fast, adept_reference, fast_run, reference_run = measure_speedup(adept, repeat=3)
+    assert fast_run.kernel_time_ms == reference_run.kernel_time_ms
+
+    params = SimCovParams.quick()
+
+    def simcov(device):
+        return SimCovDriver(device=device).run(params)
+
+    simcov_fast, simcov_reference, fast_run, reference_run = measure_speedup(simcov, repeat=3)
+    assert fast_run.kernel_time_ms == reference_run.kernel_time_ms
+
+    append_bench_entry({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "hot_loop": {"fast_s": fast_s, "reference_s": reference_s,
+                     "speedup": hot_speedup},
+        "adept_v1": {"fast_s": adept_fast, "reference_s": adept_reference,
+                     "speedup": adept_reference / adept_fast},
+        "simcov_quick": {"fast_s": simcov_fast, "reference_s": simcov_reference,
+                         "speedup": simcov_reference / simcov_fast},
+    })
+
+    assert hot_speedup >= HOT_LOOP_MIN_SPEEDUP, (
+        f"fast path regressed: {hot_speedup:.2f}x < {HOT_LOOP_MIN_SPEEDUP}x "
+        f"on the hot loop (fast {fast_s * 1e3:.2f} ms, "
+        f"reference {reference_s * 1e3:.2f} ms)")
+    assert adept_reference / adept_fast >= WORKLOAD_MIN_SPEEDUP, (
+        f"ADEPT-V1 fast path below floor: {adept_reference / adept_fast:.2f}x")
+    assert simcov_reference / simcov_fast >= WORKLOAD_MIN_SPEEDUP, (
+        f"SIMCoV fast path below floor: {simcov_reference / simcov_fast:.2f}x")

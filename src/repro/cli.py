@@ -64,6 +64,11 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help="with --resume, write the checkpoint every G rounds (default: "
              "every generation/sampling wave; for the hill climber, whose "
              "rounds are single evaluations, every population-size steps)")
+    parser.add_argument(
+        "--reference-interpreter", action="store_true",
+        help="evaluate on the tree-walking reference interpreter instead of "
+             "the decode-once fast path (bit-for-bit identical results, "
+             "several times slower; for debugging the simulator itself)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -108,8 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_adapter(workload: str, arch_name: str):
+def _make_adapter(workload: str, arch_name: str, reference_interpreter: bool = False):
     arch = get_arch(arch_name)
+    if reference_interpreter:
+        arch = arch.with_overrides(fast_path=False)
     if workload == "toy":
         from .workloads import ToyWorkloadAdapter
 
@@ -173,7 +180,8 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
 
 def _command_search(arguments: argparse.Namespace) -> int:
-    adapter = _make_adapter(arguments.workload, arguments.arch)
+    adapter = _make_adapter(arguments.workload, arguments.arch,
+                            arguments.reference_interpreter)
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
@@ -202,7 +210,8 @@ def _command_search(arguments: argparse.Namespace) -> int:
 
 
 def _command_baseline(arguments: argparse.Namespace) -> int:
-    adapter = _make_adapter(arguments.workload, arguments.arch)
+    adapter = _make_adapter(arguments.workload, arguments.arch,
+                            arguments.reference_interpreter)
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)

@@ -11,6 +11,7 @@ The usual entry point is::
 """
 
 from .arch import ARCHITECTURES, EVALUATION_ORDER, GTX1080TI, P100, V100, GpuArch, architecture_table, get_arch
+from .decoded import DecodedBlock, DecodedFunction, DecodedInstruction, decode_function
 from .memory import BufferHandle, GlobalMemory, SharedMemoryBlock, bank_conflicts, coalesced_transactions
 from .profiler import InstructionProfile, ProfileCollector
 from .simulator import LAUNCH_OVERHEAD_CYCLES, BlockResult, GpuDevice, LaunchResult
@@ -22,6 +23,9 @@ __all__ = [
     "BlockResult",
     "BufferHandle",
     "CostModel",
+    "DecodedBlock",
+    "DecodedFunction",
+    "DecodedInstruction",
     "EVALUATION_ORDER",
     "GTX1080TI",
     "GlobalMemory",
@@ -43,5 +47,6 @@ __all__ = [
     "build_thread_identity",
     "coalesced_transactions",
     "cycles_to_milliseconds",
+    "decode_function",
     "get_arch",
 ]

@@ -39,6 +39,14 @@ class GpuArch:
     #: primitives (ballot_sync / syncwarp) then carry a real cost.
     independent_thread_scheduling: bool = False
 
+    #: Execute kernels through the decode-once dispatch-table interpreter
+    #: (:mod:`repro.gpu.decoded`).  Bit-for-bit equivalent to the
+    #: tree-walking reference path; set to ``False`` (or pass
+    #: ``fast_path=False`` to :class:`~repro.gpu.simulator.GpuDevice`, or
+    #: use the CLI ``--reference-interpreter`` flag) to fall back to the
+    #: reference interpreter when debugging the simulator itself.
+    fast_path: bool = True
+
     # --- cost-model latencies, in cycles -------------------------------------
     alu_latency: int = 4
     special_latency: int = 16
@@ -67,6 +75,21 @@ class GpuArch:
     def with_overrides(self, **changes) -> "GpuArch":
         """Return a copy of the architecture with some fields replaced."""
         return replace(self, **changes)
+
+    def cost_signature(self) -> Tuple:
+        """Hashable signature of every latency the decode step bakes in.
+
+        Two architectures with equal signatures (and warp size) produce
+        identical decoded programs, so this keys the per-function decode
+        cache; the memory/atomic latencies are *not* included because their
+        costs stay dynamic (they depend on the addresses a warp touches).
+        """
+        return (
+            self.alu_latency, self.special_latency, self.rng_latency,
+            self.branch_latency, self.barrier_latency, self.warp_sync_latency,
+            self.shuffle_latency, self.independent_thread_scheduling,
+            tuple(sorted(self.cost_overrides.items())),
+        )
 
     def table_row(self) -> Dict[str, object]:
         """Row of Table I for this GPU."""

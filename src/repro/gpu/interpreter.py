@@ -24,7 +24,7 @@ from ..ir.function import Function
 from ..ir.instructions import Instruction
 from ..ir.values import Const, Reg
 from .memory import BufferHandle, SharedMemoryBlock
-from .profiler import ProfileCollector
+from .profiler import InstructionProfile, ProfileCollector
 from .rng import counter_uniform
 from .timing import CostModel, MemoryAccessInfo
 from .warp import StackEntry, WarpState, WarpStatus
@@ -32,9 +32,22 @@ from .warp import StackEntry, WarpState, WarpStatus
 _INT = np.int64
 _FLOAT = np.float64
 
+#: Step kinds of a decoded block (see :mod:`repro.gpu.decoded`): a
+#: straight-line segment of simple instructions, the three control
+#: terminators, and the block-wide barrier.
+STEP_SEGMENT, STEP_BR, STEP_CONDBR, STEP_RET, STEP_BARRIER = range(5)
+
 
 class WarpExecutor:
-    """Executes one warp of a thread block until it blocks or finishes."""
+    """Executes one warp of a thread block until it blocks or finishes.
+
+    Two execution paths exist.  The *reference* path walks the IR tree,
+    re-dispatching on string opcodes for every executed instruction.  When
+    a decoded program (:class:`repro.gpu.decoded.DecodedFunction`) is
+    supplied, :meth:`run` instead executes pre-bound handler closures in
+    block-local straight-line batches -- bit-for-bit equivalent, several
+    times faster.
+    """
 
     def __init__(
         self,
@@ -47,7 +60,9 @@ class WarpExecutor:
         cost_model: CostModel,
         profiler: ProfileCollector,
         max_instructions: int = 1_000_000,
+        decoded=None,
     ):
+        self._decoded = decoded
         self.function = function
         self.warp = warp
         self.shared = shared
@@ -111,6 +126,12 @@ class WarpExecutor:
     # ------------------------------------------------------------------ execution
     def run(self) -> WarpStatus:
         """Execute until the warp finishes, traps, or reaches a barrier."""
+        if self._decoded is not None:
+            return self._run_decoded()
+        return self._run_reference()
+
+    def _run_reference(self) -> WarpStatus:
+        """The tree-walking reference interpreter (the equivalence oracle)."""
         warp = self.warp
         if warp.status is WarpStatus.DONE:
             return warp.status
@@ -140,6 +161,187 @@ class WarpExecutor:
                 return warp.status
             if warp.status is WarpStatus.DONE:
                 return warp.status
+
+    def _run_decoded(self) -> WarpStatus:
+        """Dispatch-table execution of the decoded program.
+
+        Mirrors :meth:`_run_reference` effect for effect -- same dynamic
+        instruction sequence, cycle arithmetic, counter bumps, profiler
+        records and trap messages -- but pays the block lookup and
+        reconvergence check once per control transfer instead of once per
+        instruction, and runs straight-line segments in one tight loop
+        over pre-bound handlers.
+        """
+        warp = self.warp
+        if warp.status is WarpStatus.DONE:
+            return warp.status
+        warp.status = WarpStatus.RUNNING
+        decoded_blocks = self._decoded.blocks
+        cost_model = self.cost_model
+        counters = cost_model.counters
+        profiler = self.profiler
+        profile_enabled = profiler.enabled
+        record = profiler.record
+        max_instructions = self.max_instructions
+        stack = warp.stack
+        while True:
+            warp.pop_reconverged()
+            if warp.status is WarpStatus.DONE or not stack:
+                warp.status = WarpStatus.DONE
+                return warp.status
+            top = stack[-1]
+            label, index = top.pc
+            dblock = decoded_blocks.get(label)
+            if dblock is None:
+                self._trap(f"branch to unknown block {label!r}")
+            length = dblock.length
+            steps = dblock.steps
+            step_of_index = dblock.step_of_index
+            transferred = False
+            while not transferred:
+                if index >= length:
+                    self._trap(f"execution fell off the end of block {label!r}")
+                step = steps[step_of_index[index]]
+                kind = step.kind
+                if kind == STEP_SEGMENT:
+                    body = step.body
+                    mask = top.mask
+                    full = bool(mask.all())
+                    if (index == step.start and step.exact
+                            and warp.instructions_executed + len(body) <= max_instructions):
+                        # Whole-segment batch: charge the pre-aggregated
+                        # static cycles/counters in one step (exact integer
+                        # arithmetic, so order does not change the sums) and
+                        # run the pre-bound handlers back to back.
+                        warp.instructions_executed += len(body)
+                        warp.cycles += step.static_cycles
+                        for key, total in step.counter_totals:
+                            counters[key] = counters.get(key, 0.0) + total
+                        if profile_enabled:
+                            profiles = profiler.instructions
+                            for d in body:
+                                memory = d.execute(self, mask, full)
+                                cost = d.static_cost
+                                if cost is None:
+                                    active = (self.warp_size if full
+                                              else int(np.count_nonzero(mask)))
+                                    cost = cost_model._memory_cost(
+                                        d.instruction, active, memory)
+                                    warp.cycles += cost
+                                profile = profiles.get(d.uid)
+                                if profile is None:
+                                    instruction = d.instruction
+                                    location = (str(instruction.loc)
+                                                if instruction.loc is not None else None)
+                                    profile = InstructionProfile(
+                                        d.uid, instruction.opcode, location)
+                                    profiles[d.uid] = profile
+                                profile.executions += 1
+                                profile.cycles += cost
+                        else:
+                            for d in body:
+                                memory = d.execute(self, mask, full)
+                                if d.static_cost is None:
+                                    active = (self.warp_size if full
+                                              else int(np.count_nonzero(mask)))
+                                    warp.cycles += cost_model._memory_cost(
+                                        d.instruction, active, memory)
+                    else:
+                        # Mid-block entry (barrier resume), a segment that
+                        # straddles the instruction budget, or non-integer
+                        # baked costs: charge instruction by instruction.
+                        if index != step.start:
+                            body = body[index - step.start:]
+                        for d in body:
+                            warp.instructions_executed += 1
+                            if warp.instructions_executed > max_instructions:
+                                self._trap(
+                                    f"dynamic instruction budget exceeded "
+                                    f"({max_instructions}); probable runaway loop",
+                                    d.instruction)
+                            memory = d.execute(self, mask, full)
+                            cost = d.static_cost
+                            if cost is None:
+                                active = (self.warp_size if full
+                                          else int(np.count_nonzero(mask)))
+                                cost = cost_model._memory_cost(d.instruction, active, memory)
+                            else:
+                                key = d.counter_key
+                                if key is not None:
+                                    counters[key] = counters.get(key, 0.0) + cost
+                            warp.cycles += cost
+                            if profile_enabled:
+                                record(d.instruction, cost)
+                    index = step.start + len(step.body)
+                    top.pc = (label, index)
+                    continue
+                # A control or barrier step: one instruction on its own.
+                warp.instructions_executed += 1
+                if warp.instructions_executed > max_instructions:
+                    self._trap(
+                        f"dynamic instruction budget exceeded "
+                        f"({max_instructions}); probable runaway loop",
+                        step.instruction)
+                mask = top.mask
+                cost = step.static_cost
+                key = step.counter_key
+                if key is not None:
+                    counters[key] = counters.get(key, 0.0) + cost
+                warp.cycles += cost
+                if profile_enabled:
+                    # Once per control transfer: the plain collector call
+                    # is fine here (only the segment loop inlines it).
+                    record(step.instruction, cost)
+                if kind == STEP_BR:
+                    top.pc = (step.target, 0)
+                    transferred = True
+                elif kind == STEP_CONDBR:
+                    cond = step.condition(self).astype(bool)
+                    if mask.all():
+                        # mask is all-true, so taken == cond and
+                        # not_taken == ~cond.
+                        if cond.all():
+                            top.pc = (step.true_target, 0)
+                            transferred = True
+                            continue
+                        if not cond.any():
+                            top.pc = (step.false_target, 0)
+                            transferred = True
+                            continue
+                        taken = cond
+                        not_taken = ~cond
+                    else:
+                        taken = mask & cond
+                        not_taken = mask & ~cond
+                    if not not_taken.any():
+                        top.pc = (step.true_target, 0)
+                    elif not taken.any():
+                        top.pc = (step.false_target, 0)
+                    else:
+                        reconvergence = step.reconvergence
+                        if reconvergence is None:
+                            # No common post-dominator: run each side to
+                            # completion under its own mask.
+                            top.pc = (step.false_target, 0)
+                            top.mask = not_taken
+                            stack.append(StackEntry(pc=(step.true_target, 0),
+                                                    mask=taken, reconvergence=None))
+                        else:
+                            top.pc = (reconvergence, 0)
+                            stack.append(StackEntry(pc=(step.false_target, 0),
+                                                    mask=not_taken,
+                                                    reconvergence=reconvergence))
+                            stack.append(StackEntry(pc=(step.true_target, 0),
+                                                    mask=taken,
+                                                    reconvergence=reconvergence))
+                    transferred = True
+                elif kind == STEP_RET:
+                    warp.retire_lanes(mask.copy())
+                    transferred = True
+                else:  # STEP_BARRIER
+                    top.pc = (label, index + 1)
+                    warp.status = WarpStatus.AT_BARRIER
+                    return warp.status
 
     # -- single instruction -------------------------------------------------------
     def _charge(self, instruction: Instruction, mask: np.ndarray,

@@ -263,8 +263,13 @@ def coalesced_transactions(indices: np.ndarray, segment_size: int = 32) -> int:
     """
     if indices.size == 0:
         return 0
-    segments = np.unique(np.asarray(indices, dtype=np.int64) // segment_size)
-    return int(segments.size)
+    # Equivalent to np.unique(...).size, without the wrapper overhead (this
+    # runs once per executed global-memory instruction).
+    segments = np.asarray(indices, dtype=np.int64) // segment_size
+    segments.sort()
+    if segments.size == 1:
+        return 1
+    return int(np.count_nonzero(segments[1:] != segments[:-1])) + 1
 
 
 def bank_conflicts(indices: np.ndarray, num_banks: int = 32) -> int:
@@ -272,9 +277,12 @@ def bank_conflicts(indices: np.ndarray, num_banks: int = 32) -> int:
 
     Returns the maximum number of lanes that hit the same bank (1 means
     conflict free); the cost model charges the excess serialisation.
+    ``num_banks`` must be positive (bank ids are ``index % num_banks``,
+    non-negative for any index the bounds check lets through).
     """
     if indices.size == 0:
         return 1
+    # Equivalent to np.unique(..., return_counts=True)[1].max(): the zero
+    # counts np.bincount adds for untouched banks never win the max.
     banks = np.asarray(indices, dtype=np.int64) % num_banks
-    _, counts = np.unique(banks, return_counts=True)
-    return int(counts.max())
+    return int(np.bincount(banks).max())

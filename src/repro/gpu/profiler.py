@@ -39,6 +39,8 @@ class ProfileCollector:
     instructions: Dict[int, InstructionProfile] = field(default_factory=dict)
 
     def record(self, instruction: Instruction, cycles: float) -> None:
+        # The decoded fast path (WarpExecutor._run_decoded) inlines this
+        # get-or-create-then-bump body for speed; keep the two in sync.
         if not self.enabled:
             return
         profile = self.instructions.get(instruction.uid)

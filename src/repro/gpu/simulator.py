@@ -23,6 +23,7 @@ from ..errors import KernelTrap, LaunchError
 from ..ir.analysis import immediate_postdominators
 from ..ir.function import Function, Module
 from .arch import GpuArch, P100
+from .decoded import decode_function
 from .interpreter import WarpExecutor
 from .memory import GlobalMemory, SharedMemoryBlock
 from .profiler import ProfileCollector
@@ -85,11 +86,17 @@ class GpuDevice:
         profile: bool = True,
         unified_memory_arena: bool = False,
         arena_guard_elements: int = 24,
+        fast_path: Optional[bool] = None,
     ):
         self.arch = arch
         self.zero_init_shared = zero_init_shared
         self.max_instructions_per_warp = max_instructions_per_warp
         self.profile_enabled = profile
+        #: Execute through the decode-once dispatch-table interpreter
+        #: (bit-for-bit equivalent to the tree-walking reference path).
+        #: Defaults to the architecture's ``fast_path`` flag; pass
+        #: ``fast_path=False`` to force the reference interpreter.
+        self.fast_path = bool(arch.fast_path) if fast_path is None else bool(fast_path)
         #: When set, all global buffers of a launch live in one float64
         #: arena (CUDA-like single address space); slightly out-of-bounds
         #: accesses read neighbouring allocations instead of trapping.
@@ -131,7 +138,12 @@ class GpuDevice:
                            for name in function.param_names()
                            if name in set(global_memory.names())}
 
-        postdominators = immediate_postdominators(function)
+        if self.fast_path:
+            decoded = decode_function(function, self.arch)
+            postdominators = decoded.postdominators
+        else:
+            decoded = None
+            postdominators = immediate_postdominators(function)
         profiler = ProfileCollector(enabled=self.profile_enabled)
         cost_model = CostModel(self.arch)
         budget = max_instructions_per_warp or self.max_instructions_per_warp
@@ -144,7 +156,7 @@ class GpuDevice:
                 result = self._run_block(
                     function, (bx, by), block_dim, grid_dim,
                     global_bindings, scalar_bindings,
-                    postdominators, cost_model, profiler, budget,
+                    postdominators, cost_model, profiler, budget, decoded,
                 )
                 block_results.append(result)
                 total_instructions += result.instructions
@@ -212,6 +224,7 @@ class GpuDevice:
         cost_model: CostModel,
         profiler: ProfileCollector,
         budget: int,
+        decoded=None,
     ) -> BlockResult:
         warp_size = self.arch.warp_size
         threads = block_dim[0] * block_dim[1]
@@ -232,6 +245,7 @@ class GpuDevice:
             executors.append(WarpExecutor(
                 function, warp, shared, global_bindings, scalar_bindings,
                 postdominators, cost_model, profiler, max_instructions=budget,
+                decoded=decoded,
             ))
 
         self._run_warps_to_completion(executors)

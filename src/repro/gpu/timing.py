@@ -21,7 +21,7 @@ paper's discovered optimizations exploit:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..ir.instructions import Instruction
 from .arch import GpuArch
@@ -55,38 +55,20 @@ class CostModel:
         active_lanes: int,
         memory: Optional[MemoryAccessInfo] = None,
     ) -> float:
-        """Cycles charged to the issuing warp for one executed instruction."""
-        arch = self.arch
-        opcode = instruction.opcode
-        if opcode in arch.cost_overrides:
-            cost = float(arch.cost_overrides[opcode])
-            self._bump("override_cycles", cost)
+        """Cycles charged to the issuing warp for one executed instruction.
+
+        Launch-invariant costs come from :func:`static_instruction_cost` --
+        the same function the decode step bakes from, so the reference and
+        fast paths cannot drift -- leaving only the memory/atomic pricing
+        (which depends on the addresses the warp touched) computed here.
+        """
+        static = static_instruction_cost(self.arch, instruction)
+        if static is not None:
+            cost, counter_key = static
+            if counter_key is not None:
+                self._bump(counter_key, cost)
             return cost
-
-        category = instruction.info.category
-        if category in ("arith", "cmp", "intrinsic", "misc"):
-            cost = float(arch.alu_latency)
-            if opcode in ("div", "rem"):
-                cost = float(arch.special_latency)
-            elif opcode == "rand.uniform":
-                cost = float(arch.rng_latency)
-            self._bump("alu_cycles", cost)
-            return cost
-
-        if category == "control":
-            cost = float(arch.branch_latency)
-            self._bump("branch_cycles", cost)
-            return cost
-
-        if category in ("memory", "atomic"):
-            return self._memory_cost(instruction, active_lanes, memory)
-
-        if category == "sync":
-            return self._sync_cost(instruction)
-
-        # Unknown categories should not exist (the opcode registry is closed),
-        # but default to an ALU issue so a future opcode cannot be free.
-        return float(arch.alu_latency)
+        return self._memory_cost(instruction, active_lanes, memory)
 
     # -- helpers -----------------------------------------------------------------
     def _memory_cost(
@@ -123,29 +105,49 @@ class CostModel:
             return float(cost)
         return float(arch.alu_latency)
 
-    def _sync_cost(self, instruction: Instruction) -> float:
-        arch = self.arch
-        opcode = instruction.opcode
+
+def static_instruction_cost(
+    arch: GpuArch, instruction: Instruction
+) -> Optional[Tuple[float, Optional[str]]]:
+    """``(cycles, counter key)`` when an instruction's cost is launch-invariant.
+
+    The single source of truth for static pricing: every category except
+    memory and atomics (whose cost depends on the addresses the warp
+    actually touches) prices an instruction from the architecture alone.
+    :meth:`CostModel.instruction_cost` charges from this at runtime and
+    the decode step bakes it into the instruction stream, so the reference
+    and fast paths cannot disagree.  Returns ``None`` for the dynamic
+    cases; the counter key is ``None`` where the charge bumps no counter.
+    """
+    opcode = instruction.opcode
+    if opcode in arch.cost_overrides:
+        return float(arch.cost_overrides[opcode]), "override_cycles"
+    category = instruction.info.category
+    if category in ("arith", "cmp", "intrinsic", "misc"):
+        if opcode in ("div", "rem"):
+            return float(arch.special_latency), "alu_cycles"
+        if opcode == "rand.uniform":
+            return float(arch.rng_latency), "alu_cycles"
+        return float(arch.alu_latency), "alu_cycles"
+    if category == "control":
+        return float(arch.branch_latency), "branch_cycles"
+    if category in ("memory", "atomic"):
+        return None
+    if category == "sync":
         if opcode == "syncthreads":
-            cost = float(arch.barrier_latency)
-            self._bump("barrier_cycles", cost)
-            return cost
+            return float(arch.barrier_latency), "barrier_cycles"
         if opcode in ("ballot.sync", "syncwarp"):
             # The Volta-specific warp re-synchronisation cost (Section VI-B):
             # near-free on Pascal, tens of cycles on Volta.
             cost = float(arch.warp_sync_latency if arch.independent_thread_scheduling
                          else arch.alu_latency)
-            self._bump("warp_sync_cycles", cost)
-            return cost
+            return cost, "warp_sync_cycles"
         if opcode == "activemask":
-            cost = float(arch.alu_latency)
-            self._bump("warp_sync_cycles", cost)
-            return cost
+            return float(arch.alu_latency), "warp_sync_cycles"
         if opcode.startswith("shfl."):
-            cost = float(arch.shuffle_latency)
-            self._bump("shuffle_cycles", cost)
-            return cost
-        return float(arch.alu_latency)
+            return float(arch.shuffle_latency), "shuffle_cycles"
+        return float(arch.alu_latency), None
+    return float(arch.alu_latency), None
 
 
 def cycles_to_milliseconds(cycles: float, arch: GpuArch) -> float:

@@ -10,11 +10,18 @@ edit list can be applied without disturbing the original.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import IRError
 from .instructions import Instruction
+
+#: Per-function decode caches (see :meth:`Function.cached_decoding`), held
+#: outside the instances so pickling a Function/Module never drags the
+#: unpicklable decoded artifacts (closures, numpy arrays) along and the
+#: entries die with their function.
+_DECODE_CACHES: "weakref.WeakKeyDictionary[Function, tuple]" = weakref.WeakKeyDictionary()
 
 
 @dataclass(frozen=True)
@@ -187,6 +194,48 @@ class Function:
 
     def param_names(self) -> Tuple[str, ...]:
         return tuple(p.name for p in self.params)
+
+    # -- decode caching ----------------------------------------------------------
+    def decode_fingerprint(self) -> Tuple:
+        """Structural identity of this function's executable code.
+
+        The fingerprint is the block-ordered sequence of per-instruction
+        ``(uid, mutation_stamp)`` pairs: any insert/delete/move/swap/replace
+        changes the uid sequence, and any in-place operand edit (which keeps
+        the uid) advances the instruction's mutation stamp.  Two equal
+        fingerprints therefore decode to the same program.
+        """
+        blocks = self.blocks
+        return tuple(
+            (label, tuple((inst.uid, inst.mutation_stamp)
+                          for inst in blocks[label].instructions))
+            for label in self._block_order
+        )
+
+    def cached_decoding(self, key, build: Callable[["Function"], object]):
+        """Memoise ``build(self)`` until this function's IR changes.
+
+        Used by the GPU fast path to decode a kernel once per module and
+        reuse the decoded program across every launch of an evaluation
+        (one fitness evaluation launches the same variant once per test
+        case / simulation step).  ``key`` distinguishes decodings that bake
+        in different execution parameters (warp size, cost tables).  The
+        cache is validated against :meth:`decode_fingerprint`, so GEVO
+        edits applied through the normal pathways invalidate it.
+        """
+        fingerprint = self.decode_fingerprint()
+        cached = _DECODE_CACHES.get(self)
+        if cached is None or cached[0] != fingerprint:
+            store: Dict[object, object] = {}
+            _DECODE_CACHES[self] = (fingerprint, store)
+        else:
+            store = cached[1]
+            artifact = store.get(key)
+            if artifact is not None:
+                return artifact
+        artifact = build(self)
+        store[key] = artifact
+        return artifact
 
     # -- copying -----------------------------------------------------------------
     def clone(self) -> "Function":

@@ -25,6 +25,20 @@ def next_uid() -> int:
     return next(_uid_counter)
 
 
+_mutation_counter = itertools.count(1)
+
+
+def next_mutation_stamp() -> int:
+    """Allocate a monotonically increasing in-place-mutation stamp.
+
+    Decoded-program caches (see :mod:`repro.gpu.decoded`) fingerprint a
+    function as the sequence of ``(uid, mutation_stamp)`` pairs of its
+    instructions: structural edits change the uid sequence, while in-place
+    edits (operand replacement) advance the mutated instruction's stamp.
+    """
+    return next(_mutation_counter)
+
+
 @dataclass(frozen=True)
 class SourceLoc:
     """A source-code location (file and line) attached to an instruction.
@@ -50,7 +64,7 @@ class Instruction:
     instruction-copy edit, which inserts a *new* instruction).
     """
 
-    __slots__ = ("uid", "opcode", "dest", "operands", "attrs", "loc")
+    __slots__ = ("uid", "opcode", "dest", "operands", "attrs", "loc", "mutation_stamp")
 
     def __init__(
         self,
@@ -68,6 +82,7 @@ class Instruction:
         self.operands = [as_value(op) for op in (operands or [])]
         self.attrs = dict(attrs or {})
         self.loc = loc
+        self.mutation_stamp = 0
         if info.has_dest and dest is None:
             raise ValueError(f"opcode {opcode!r} requires a destination register")
         if not info.has_dest and dest is not None:
@@ -109,6 +124,18 @@ class Instruction:
         if not 0 <= index < len(self.operands):
             raise IndexError(f"operand index {index} out of range for {self}")
         self.operands[index] = as_value(value)
+        self.touch()
+
+    def touch(self) -> None:
+        """Record an in-place mutation so cached decodings are invalidated.
+
+        :meth:`replace_operand` calls this automatically; code that mutates
+        ``operands``/``attrs``/``dest`` of an instruction *already placed in
+        a block* by other means must call it by hand (inserting a freshly
+        constructed or :meth:`duplicate`-d instruction needs nothing -- the
+        new uid already changes the function fingerprint).
+        """
+        self.mutation_stamp = next_mutation_stamp()
 
     # -- copying -----------------------------------------------------------------
     def clone(self) -> "Instruction":

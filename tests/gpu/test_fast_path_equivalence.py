@@ -1,0 +1,323 @@
+"""Differential battery: decoded fast path vs. the reference interpreter.
+
+The decode-once dispatch-table path (:mod:`repro.gpu.decoded`) must be
+**bit-for-bit** equivalent to the tree-walking reference interpreter:
+identical cycle counts, cost-model counters, per-uid profiler statistics,
+output buffers, seeded RNG streams and trap messages.  Everything cached
+in a persisted :class:`FitnessResult` depends on this, so the battery
+runs both paths against each other on every workload (toy, ADEPT-V0/V1,
+SIMCoV), on every architecture, and on seeded random edit sets that
+exercise divergence, partial warps, traps and degenerate control flow.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelTrap, LaunchError
+from repro.gevo import apply_edits
+from repro.gevo.mutation import EditGenerator
+from repro.gpu import EVALUATION_ORDER, GpuDevice, get_arch
+from repro.workloads.toy import ToyWorkloadAdapter, build_toy_kernel, toy_discovered_edits
+
+
+def profile_stats(profile):
+    return {uid: (p.executions, p.cycles, p.opcode, p.location)
+            for uid, p in profile.instructions.items()}
+
+
+def launch_both(module, grid, block, args, arch, *, kernel_name=None, **device_kwargs):
+    """Launch on both paths (fresh buffer copies) and return the outcomes."""
+    outcomes = []
+    for fast in (True, False):
+        device = GpuDevice(arch, fast_path=fast, **device_kwargs)
+        copies = {name: (value.copy() if isinstance(value, np.ndarray) else value)
+                  for name, value in args.items()}
+        try:
+            result = device.launch(module, grid, block, copies, kernel_name=kernel_name)
+        except (KernelTrap, LaunchError) as error:
+            outcomes.append(("error", type(error).__name__, str(error)))
+        else:
+            outcomes.append(("ok", result, copies))
+    return outcomes
+
+
+def assert_equivalent_launch(module, grid, block, args, arch, *,
+                             kernel_name=None, **device_kwargs):
+    fast, reference = launch_both(module, grid, block, args, arch,
+                                  kernel_name=kernel_name, **device_kwargs)
+    assert fast[0] == reference[0], (fast, reference)
+    if fast[0] == "error":
+        assert fast[1:] == reference[1:]
+        return None
+    _, fast_result, fast_buffers = fast
+    _, ref_result, ref_buffers = reference
+    assert fast_result.cycles == ref_result.cycles
+    assert fast_result.time_ms == ref_result.time_ms
+    assert fast_result.instructions_executed == ref_result.instructions_executed
+    assert fast_result.warps_executed == ref_result.warps_executed
+    assert fast_result.counters == ref_result.counters
+    assert profile_stats(fast_result.profile) == profile_stats(ref_result.profile)
+    for name in fast_buffers:
+        if isinstance(fast_buffers[name], np.ndarray):
+            np.testing.assert_array_equal(fast_buffers[name], ref_buffers[name],
+                                          err_msg=f"buffer {name!r} differs")
+    return fast_result
+
+
+def case_tuples(result):
+    return [(case.name, case.passed, case.runtime_ms, case.message)
+            for case in result.cases]
+
+
+def assert_equivalent_fitness(make_adapter, module=None):
+    """Evaluate *module* (default: the original) on fast and reference adapters."""
+    fast_adapter = make_adapter(True)
+    ref_adapter = make_adapter(False)
+    target = module if module is not None else fast_adapter.original_module()
+    fast = fast_adapter.evaluate(target)
+    reference = ref_adapter.evaluate(target)
+    assert fast.valid == reference.valid
+    assert fast.runtime_ms == reference.runtime_ms or (
+        math.isinf(fast.runtime_ms) and math.isinf(reference.runtime_ms))
+    assert case_tuples(fast) == case_tuples(reference)
+    return fast
+
+
+# --------------------------------------------------------------------------- workloads
+@pytest.mark.parametrize("arch_name", EVALUATION_ORDER)
+def test_toy_workload_equivalent_on_every_arch(arch_name):
+    arch = get_arch(arch_name)
+    assert_equivalent_fitness(
+        lambda fast: ToyWorkloadAdapter(arch.with_overrides(fast_path=fast)))
+
+
+@pytest.mark.parametrize("arch_name", ["P100", "V100"])
+def test_adept_v1_workload_equivalent(arch_name):
+    from repro.workloads.adept import AdeptWorkloadAdapter, search_pairs
+
+    arch = get_arch(arch_name)
+    result = assert_equivalent_fitness(
+        lambda fast: AdeptWorkloadAdapter(
+            "v1", arch.with_overrides(fast_path=fast),
+            fitness_cases=[search_pairs()]))
+    assert result.valid
+
+
+def test_adept_v0_workload_equivalent():
+    from repro.workloads.adept import AdeptWorkloadAdapter, generate_pairs
+
+    pairs = generate_pairs(1, reference_length=36, query_length=22, seed=5)
+    result = assert_equivalent_fitness(
+        lambda fast: AdeptWorkloadAdapter(
+            "v0", get_arch("P100").with_overrides(fast_path=fast),
+            fitness_cases=[pairs]))
+    assert result.valid
+
+
+def test_simcov_workload_equivalent():
+    from repro.workloads.simcov import SimCovParams, SimCovWorkloadAdapter
+
+    result = assert_equivalent_fitness(
+        lambda fast: SimCovWorkloadAdapter(
+            get_arch("P100").with_overrides(fast_path=fast),
+            fitness_params=SimCovParams.quick()))
+    assert result.valid
+
+
+def test_adept_discovered_edits_equivalent():
+    """The recorded GEVO edit set (divergence-heavy rewrite) stays identical."""
+    from repro.workloads.adept import (
+        AdeptWorkloadAdapter,
+        adept_v1_discovered_edits,
+        search_pairs,
+    )
+
+    def make(fast):
+        return AdeptWorkloadAdapter("v1", get_arch("P100").with_overrides(fast_path=fast),
+                                    fitness_cases=[search_pairs()])
+
+    adapter = make(True)
+    edits = adept_v1_discovered_edits(adapter.driver.kernel)
+    variant = apply_edits(adapter.original_module(), edits).module
+    assert_equivalent_fitness(make, module=variant)
+
+
+# --------------------------------------------------------------------------- random edit sets
+def _random_variants(seed, count, length):
+    """Seeded random edit-set variants of the toy kernel (plus the module)."""
+    kernel = build_toy_kernel()
+    rng = random.Random(seed)
+    generator = EditGenerator(kernel.module, rng)
+    variants = []
+    for _ in range(count):
+        edits = []
+        for _ in range(rng.randint(1, length)):
+            edit = generator.random_edit()
+            if edit is not None:
+                edits.append(edit)
+        variants.append(apply_edits(kernel.module, edits).module)
+    return variants
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_toy_edit_sets_equivalent(seed):
+    """Random mutants -- many trap or diverge -- agree bit-for-bit.
+
+    This sweeps the ugly corners: deleted terminators (falling off a
+    block), deleted bounds checks (out-of-bounds traps), moved barriers
+    (divergent syncthreads), undefined registers, and partial-warp masks.
+    """
+    elements = 150  # not a multiple of the block size: partial final warp
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=elements)
+    y = rng.normal(size=elements)
+    arch = get_arch("P100")
+    for variant in _random_variants(seed, count=8, length=4):
+        out = np.zeros(elements)
+        assert_equivalent_launch(
+            variant, 3, 64, {"x": x, "y": y, "out": out, "n": elements},
+            arch, kernel_name="saxpy_wasteful")
+
+
+@settings(max_examples=15, deadline=None)
+@given(subset=st.sets(st.integers(min_value=0, max_value=2)),
+       elements=st.integers(min_value=1, max_value=130))
+def test_discovered_edit_subsets_equivalent(subset, elements):
+    """Hypothesis: every subset of the toy's discovered edits, at odd sizes."""
+    kernel = build_toy_kernel()
+    edits = toy_discovered_edits(kernel)
+    chosen = [edits[i] for i in sorted(subset)]
+    variant = apply_edits(kernel.module, chosen).module
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=elements)
+    y = rng.normal(size=elements)
+    out = np.zeros(elements)
+    grid = max(1, math.ceil(elements / 64))
+    assert_equivalent_launch(
+        variant, grid, 64, {"x": x, "y": y, "out": out, "n": elements},
+        get_arch("P100"), kernel_name="saxpy_wasteful")
+
+
+# --------------------------------------------------------------------------- seeded RNG streams
+def test_rand_uniform_stream_equivalent():
+    """Kernels drawing counter-based randomness produce identical streams."""
+    from repro.ir import KernelBuilder, Param, build_module
+
+    b = KernelBuilder("randk", params=[Param("out", "buffer"), Param("seed", "scalar")])
+    b.block("entry")
+    tid = b.tid_x()
+    draw = b.rand_uniform(b.reg("seed"), tid, 3)
+    b.store(b.reg("out"), tid, draw)
+    b.ret()
+    module = build_module("randm", b.build())
+    out = np.zeros(32)
+    result = assert_equivalent_launch(module, 1, 32, {"out": out, "seed": 11},
+                                      get_arch("P100"), kernel_name="randk")
+    assert result is not None
+
+
+# --------------------------------------------------------------------------- traps and budgets
+def test_instruction_budget_trap_equivalent():
+    """Both paths trap the runaway-loop budget with the same message."""
+    from repro.ir import KernelBuilder, Param, build_module
+
+    b = KernelBuilder("spin", params=[Param("out", "buffer")])
+    b.block("entry")
+    with b.for_range("i", 0, 1_000_000):
+        b.add(b.reg("i"), 0, dest="sink")
+    b.ret()
+    module = build_module("spin_m", b.build())
+    out = np.zeros(32)
+    fast, reference = launch_both(module, 1, 32, {"out": out}, get_arch("P100"),
+                                  kernel_name="spin",
+                                  max_instructions_per_warp=5_000)
+    assert fast == reference
+    assert fast[0] == "error" and "budget exceeded" in fast[2]
+
+
+def test_out_of_bounds_trap_equivalent():
+    kernel = build_toy_kernel()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=8)  # far smaller than n: guaranteed OOB
+    y = rng.normal(size=8)
+    out = np.zeros(8)
+    fast, reference = launch_both(
+        kernel.module, 4, 64, {"x": x, "y": y, "out": out, "n": 256},
+        get_arch("P100"), kernel_name="saxpy_wasteful")
+    assert fast == reference
+    assert fast[0] == "error" and "out-of-bounds" in fast[2]
+
+
+# --------------------------------------------------------------------------- decode-cache hygiene
+def test_decode_cache_invalidated_by_edits():
+    """Editing a function after a launch must invalidate its decoding."""
+    kernel = build_toy_kernel()
+    module = kernel.module
+    arch = get_arch("P100")
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=128)
+    y = rng.normal(size=128)
+    args = {"x": x, "y": y, "out": np.zeros(128), "n": 128}
+
+    device = GpuDevice(arch, fast_path=True)
+    before = device.launch(module, 2, 64, dict(args, out=np.zeros(128)),
+                           kernel_name="saxpy_wasteful")
+    # Mutate the already-decoded module in place through a GEVO edit.
+    from repro.gevo.edits import InstructionDelete
+
+    InstructionDelete(kernel.edit_targets["useless_barrier"]).apply(module)
+    after = device.launch(module, 2, 64, dict(args, out=np.zeros(128)),
+                          kernel_name="saxpy_wasteful")
+    assert after.cycles < before.cycles
+    # And the re-decoded program still matches the reference interpreter.
+    reference = GpuDevice(arch, fast_path=False).launch(
+        module, 2, 64, dict(args, out=np.zeros(128)), kernel_name="saxpy_wasteful")
+    assert after.cycles == reference.cycles
+    assert after.counters == reference.counters
+
+
+def test_decode_cache_invalidated_by_operand_replace():
+    """In-place operand edits (uid survives) must also invalidate the cache."""
+    from repro.gevo.edits import OperandReplace
+    from repro.ir.values import Const
+
+    kernel = build_toy_kernel()
+    module = kernel.module
+    arch = get_arch("P100")
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=64)
+    y = rng.normal(size=64)
+
+    device = GpuDevice(arch, fast_path=True)
+    out_before = np.zeros(64)
+    device.launch(module, 1, 64, {"x": x, "y": y, "out": out_before, "n": 64},
+                  kernel_name="saxpy_wasteful")
+    scaled_uid = next(inst.uid for inst in module.instructions()
+                      if inst.dest == "scaled")
+    OperandReplace(scaled_uid, 1, Const(5)).apply(module)
+    out_after = np.zeros(64)
+    device.launch(module, 1, 64, {"x": x, "y": y, "out": out_after, "n": 64},
+                  kernel_name="saxpy_wasteful")
+    np.testing.assert_array_equal(out_after, 5.0 * x + y)
+
+    out_reference = np.zeros(64)
+    GpuDevice(arch, fast_path=False).launch(
+        module, 1, 64, {"x": x, "y": y, "out": out_reference, "n": 64},
+        kernel_name="saxpy_wasteful")
+    np.testing.assert_array_equal(out_after, out_reference)
+
+
+def test_fast_path_default_and_opt_out():
+    """fast_path defaults on via the arch and can be disabled per device."""
+    arch = get_arch("P100")
+    assert GpuDevice(arch).fast_path is True
+    assert GpuDevice(arch, fast_path=False).fast_path is False
+    assert GpuDevice(arch.with_overrides(fast_path=False)).fast_path is False
+    assert GpuDevice(arch.with_overrides(fast_path=False), fast_path=True).fast_path is True
