@@ -1,17 +1,20 @@
-"""Microbenchmark: serial vs. process-pool population evaluation.
+"""Microbenchmark: serial vs. process-pool vs. async population evaluation.
 
 Evaluates one GA-generation-sized batch of distinct toy-kernel variants
-through the :class:`~repro.runtime.engine.EvaluationEngine`, once with the
-:class:`SerialExecutor` and once with a :class:`ParallelExecutor`.  The
-pool is started (and the adapter shipped to the workers) outside the
+through the :class:`~repro.runtime.engine.EvaluationEngine`, once per
+executor backend: :class:`SerialExecutor`, :class:`ParallelExecutor`
+(pool started -- and the adapter shipped to the workers -- outside the
 timed region, matching a long search where the startup cost amortises
-over hundreds of generations.  Run with ``-s`` to see the comparison; the
-parity of the two result sets is asserted either way.
+over hundreds of generations) and the in-process
+:class:`~repro.runtime.executors.AsyncExecutor`, whose pitch is paying
+no pickling/IPC tax at all.  Run with ``-s`` to see the comparison; the
+parity of the result sets is asserted either way.
 
-No speedup is *asserted*: the expected ratio is entirely
-hardware-dependent (on a single-core CI container the two strategies
-tie, with the pool paying a small IPC tax; on an N-core workstation the
-parallel row approaches N-fold).
+No speedup is *asserted*: the expected ratios are entirely
+hardware-dependent (on a single-core CI container the strategies tie,
+with the pool paying a small IPC tax; on an N-core workstation the
+parallel row approaches N-fold, while the async row is bounded by how
+often the numpy kernels release the GIL).
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from __future__ import annotations
 import pytest
 
 from repro.gevo.edits import InstructionDelete
-from repro.runtime import EvaluationEngine, FitnessCache, ParallelExecutor
+from repro.runtime import AsyncExecutor, EvaluationEngine, FitnessCache, ParallelExecutor
 from repro.workloads import ToyWorkloadAdapter
 
 #: One scaled GA generation's worth of variants.
@@ -68,6 +71,18 @@ def test_population_evaluation_serial(benchmark, adapter, edit_sets, expected):
     def evaluate():
         # Fresh cache each round so every variant is actually simulated.
         engine = EvaluationEngine(adapter, cache=FitnessCache())
+        return engine.evaluate_many(edit_sets)
+
+    results = benchmark.pedantic(evaluate, rounds=3, iterations=1)
+    _check(results, expected)
+
+
+def test_population_evaluation_async(benchmark, adapter, edit_sets, expected):
+    executor = AsyncExecutor(JOBS)
+
+    def evaluate():
+        engine = EvaluationEngine(adapter, executor=executor,
+                                  cache=FitnessCache())
         return engine.evaluate_many(edit_sets)
 
     results = benchmark.pedantic(evaluate, rounds=3, iterations=1)

@@ -8,20 +8,13 @@ Sub-commands::
     python -m repro.cli search toy --generations 8   # run a small live GEVO search
     python -m repro.cli baseline random toy          # run a search baseline
     python -m repro.cli baseline hill toy --steps 40
+    python -m repro.cli sweep --arch P100,V100 --workload toy --runs 3
 
-Searches and baselines run through the evaluation runtime
-(:mod:`repro.runtime`):
-
-* ``--jobs N`` evaluates each generation across a pool of N worker
-  processes (``--jobs 0`` = one per core);
-* ``--cache PATH`` persists the fitness cache to PATH, so re-running the
-  same search re-simulates nothing it has seen before.  The backend is
-  picked from the extension (``.sqlite``/``.sqlite3``/``.db`` -> SQLite,
-  anything else -> JSON) or forced with ``--cache-backend``; opening an
-  existing JSON cache with the SQLite backend migrates it in place;
-* ``--resume PATH`` checkpoints the search to PATH every
-  ``--checkpoint-every`` rounds and, when PATH already exists, resumes
-  from it instead of starting over -- for GEVO *and* for both baselines.
+Searches, baselines and sweeps run through the evaluation runtime
+(:mod:`repro.runtime`); the shared runtime flags (``--jobs``,
+``--executor``, ``--cache``/``--cache-backend``/``--cache-shards``,
+``--resume``, ``--checkpoint-every``, ``--reference-interpreter``) are
+documented in the README's CLI reference and in ``docs/runtime.md``.
 
 The experiment identifiers match DESIGN.md / EXPERIMENTS.md and the
 benchmark harness, so the CLI is simply another front end over
@@ -36,25 +29,57 @@ import sys
 from typing import List, Optional
 
 from .baselines import HillClimber, RandomSearch
-from .errors import SearchError
+from .errors import ReproError
 from .experiments import available_experiments, get_experiment
 from .gevo import GevoConfig, GevoSearch
-from .gpu import EVALUATION_ORDER, get_arch
+from .gpu import EVALUATION_ORDER, available_archs, parse_arch_list
 from .runtime import EvaluationEngine, FitnessCache, SearchCheckpoint, make_executor
+from .runtime.sweep import (
+    METHOD_CHOICES,
+    SweepSpec,
+    make_adapter,
+    resolve_workload,
+    run_sweep,
+)
+
+#: Workload names accepted by ``search`` / ``baseline`` / ``sweep``.
+WORKLOADS = ["toy", "adept-v1", "simcov"]
 
 
-def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every subcommand that evaluates fitness."""
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="evaluate each generation across N worker processes (0 = all cores)")
+        help="evaluate each generation across N workers (0 = all cores)")
+    parser.add_argument(
+        "--executor", choices=["auto", "serial", "process", "async", "sharded"],
+        default="auto",
+        help="execution strategy for --jobs: in-process serial, a process "
+             "pool, bounded-concurrency asyncio, or hash-sharded lanes "
+             "(default: serial for --jobs 1, process pool otherwise)")
     parser.add_argument(
         "--cache", default=None, metavar="PATH",
         help="persist the fitness cache to PATH; re-runs hit the warm cache")
     parser.add_argument(
-        "--cache-backend", choices=["auto", "json", "sqlite"], default="auto",
-        help="disk tier for --cache: whole-document JSON or incremental "
-             "WAL-mode SQLite (default: pick from the file extension)")
+        "--cache-backend", choices=["auto", "json", "sqlite", "sharded"],
+        default="auto",
+        help="disk tier for --cache: whole-document JSON, incremental "
+             "WAL-mode SQLite, or a directory of hash-partitioned SQLite "
+             "shards (default: pick from the path)")
+    parser.add_argument(
+        "--cache-shards", type=int, default=None, metavar="N",
+        help="shard count when creating a fresh sharded cache (an existing "
+             "sharded cache keeps the count it was created with)")
+    parser.add_argument(
+        "--reference-interpreter", action="store_true",
+        help="evaluate on the tree-walking reference interpreter instead of "
+             "the decode-once fast path (bit-for-bit identical results, "
+             "several times slower; for debugging the simulator itself)")
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Engine flags plus single-search checkpoint/resume."""
+    _add_engine_arguments(parser)
     parser.add_argument(
         "--resume", default=None, metavar="PATH",
         help="checkpoint the search to PATH; if PATH exists, resume from it "
@@ -64,11 +89,6 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help="with --resume, write the checkpoint every G rounds (default: "
              "every generation/sampling wave; for the hill climber, whose "
              "rounds are single evaluations, every population-size steps)")
-    parser.add_argument(
-        "--reference-interpreter", action="store_true",
-        help="evaluate on the tree-walking reference interpreter instead of "
-             "the decode-once fast path (bit-for-bit identical results, "
-             "several times slower; for debugging the simulator itself)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -88,8 +108,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     search_parser = subparsers.add_parser(
         "search", help="run a scaled-down live GEVO search on one workload")
-    search_parser.add_argument("workload", choices=["toy", "adept-v1", "simcov"])
-    search_parser.add_argument("--arch", choices=list(EVALUATION_ORDER), default="P100")
+    search_parser.add_argument("workload", choices=WORKLOADS)
+    search_parser.add_argument("--arch", choices=list(available_archs()), default="P100")
     search_parser.add_argument("--population", type=int, default=12)
     search_parser.add_argument("--generations", type=int, default=8)
     search_parser.add_argument("--seed", type=int, default=0)
@@ -99,8 +119,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "baseline", help="run a non-evolutionary search baseline on one workload")
     baseline_parser.add_argument("method", choices=["random", "hill"],
                                  help="random sampling or first-improvement hill climbing")
-    baseline_parser.add_argument("workload", choices=["toy", "adept-v1", "simcov"])
-    baseline_parser.add_argument("--arch", choices=list(EVALUATION_ORDER), default="P100")
+    baseline_parser.add_argument("workload", choices=WORKLOADS)
+    baseline_parser.add_argument("--arch", choices=list(available_archs()), default="P100")
     baseline_parser.add_argument("--population", type=int, default=12,
                                  help="budget factor (budget = population x generations)")
     baseline_parser.add_argument("--generations", type=int, default=8)
@@ -110,31 +130,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hill climber only: climb for exactly N steps instead of the "
              "population x generations budget")
     _add_runtime_arguments(baseline_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a search grid (architectures x workloads x seeds) "
+                      "and aggregate one report")
+    sweep_parser.add_argument(
+        "--arch", default=",".join(EVALUATION_ORDER), metavar="A,B,...",
+        help="comma-separated architecture list (default: all paper GPUs)")
+    sweep_parser.add_argument(
+        "--workload", default="toy", metavar="W,X,...",
+        help="comma-separated workload list (toy, adept[-v1], simcov)")
+    sweep_parser.add_argument(
+        "--seeds", default=None, metavar="S,T,...",
+        help="comma-separated seed list (overrides --runs)")
+    sweep_parser.add_argument(
+        "--runs", type=int, default=1, metavar="N",
+        help="run seeds 0..N-1 per (arch, workload) cell (default: 1)")
+    sweep_parser.add_argument(
+        "--method", choices=list(METHOD_CHOICES), default="gevo",
+        help="search to run per leg: GEVO or a baseline (default: gevo)")
+    sweep_parser.add_argument("--population", type=int, default=12)
+    sweep_parser.add_argument("--generations", type=int, default=8)
+    sweep_parser.add_argument(
+        "--sweep-dir", default="sweep-out", metavar="DIR",
+        help="directory holding per-leg checkpoints/results, the shared "
+             "cache and the aggregated report (default: sweep-out)")
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="skip legs already completed in --sweep-dir and continue "
+             "unfinished legs from their checkpoints (zero re-evaluations)")
+    sweep_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="G",
+        help="checkpoint each leg every G rounds (default: every round; "
+             "the hill climber defaults to every population-size steps)")
+    _add_engine_arguments(sweep_parser)
     return parser
-
-
-def _make_adapter(workload: str, arch_name: str, reference_interpreter: bool = False):
-    arch = get_arch(arch_name)
-    if reference_interpreter:
-        arch = arch.with_overrides(fast_path=False)
-    if workload == "toy":
-        from .workloads import ToyWorkloadAdapter
-
-        return ToyWorkloadAdapter(arch)
-    if workload == "adept-v1":
-        from .workloads.adept import AdeptWorkloadAdapter, search_pairs
-
-        return AdeptWorkloadAdapter("v1", arch, fitness_cases=[search_pairs()])
-    from .workloads.simcov import SimCovParams, SimCovWorkloadAdapter
-
-    return SimCovWorkloadAdapter(arch, fitness_params=SimCovParams.quick())
 
 
 def _make_engine(adapter, arguments: argparse.Namespace) -> EvaluationEngine:
     backend = None if arguments.cache_backend == "auto" else arguments.cache_backend
-    return EvaluationEngine(adapter,
-                            executor=make_executor(arguments.jobs),
-                            cache=FitnessCache(arguments.cache, backend=backend))
+    return EvaluationEngine(
+        adapter,
+        executor=make_executor(arguments.jobs, arguments.executor),
+        cache=FitnessCache(arguments.cache, backend=backend,
+                           shards=arguments.cache_shards))
 
 
 def _load_resume_checkpoint(arguments: argparse.Namespace,
@@ -180,8 +219,8 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
 
 def _command_search(arguments: argparse.Namespace) -> int:
-    adapter = _make_adapter(arguments.workload, arguments.arch,
-                            arguments.reference_interpreter)
+    adapter = make_adapter(arguments.workload, arguments.arch,
+                           arguments.reference_interpreter)
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
@@ -210,8 +249,8 @@ def _command_search(arguments: argparse.Namespace) -> int:
 
 
 def _command_baseline(arguments: argparse.Namespace) -> int:
-    adapter = _make_adapter(arguments.workload, arguments.arch,
-                            arguments.reference_interpreter)
+    adapter = make_adapter(arguments.workload, arguments.arch,
+                           arguments.reference_interpreter)
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
@@ -256,6 +295,61 @@ def _command_baseline(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    try:
+        archs = parse_arch_list(arguments.arch)
+        workloads = [resolve_workload(name.strip())
+                     for name in arguments.workload.split(",") if name.strip()]
+        if arguments.seeds is not None:
+            seeds = [int(seed) for seed in arguments.seeds.split(",") if seed.strip()]
+        else:
+            seeds = list(range(max(1, arguments.runs)))
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: --seeds expects a comma-separated integer list ({error})",
+              file=sys.stderr)
+        return 2
+    spec = SweepSpec(archs=archs, workloads=workloads, seeds=seeds,
+                     method=arguments.method,
+                     population=arguments.population,
+                     generations=arguments.generations)
+    backend = None if arguments.cache_backend == "auto" else arguments.cache_backend
+    print(f"sweep: {len(spec.legs())} legs "
+          f"({len(workloads)} workloads x {len(archs)} archs x {len(seeds)} seeds), "
+          f"method={arguments.method}, executor={arguments.executor}, "
+          f"jobs={arguments.jobs}"
+          + (", resuming" if arguments.resume else ""))
+
+    def narrate(leg, outcome):
+        print(f"  [{outcome.status:>9}] {leg.leg_id}: "
+              f"{outcome.speedup:.3f}x, {outcome.evaluations} evaluations "
+              f"({outcome.fresh_evaluations} fresh, "
+              f"{outcome.wall_clock_seconds:.1f}s)")
+
+    report = run_sweep(
+        spec, arguments.sweep_dir,
+        resume=arguments.resume,
+        jobs=arguments.jobs,
+        executor_kind=arguments.executor,
+        cache_path=arguments.cache if arguments.cache else "auto",
+        cache_backend=backend,
+        cache_shards=arguments.cache_shards,
+        checkpoint_every=arguments.checkpoint_every,
+        reference_interpreter=arguments.reference_interpreter,
+        progress=narrate,
+    )
+    print()
+    print(report.to_table())
+    totals = report.totals()
+    print(f"\ntotals: {totals['completed']} legs run, {totals['skipped']} skipped, "
+          f"{totals['fresh_evaluations']} fresh evaluations")
+    json_path = os.path.join(arguments.sweep_dir, "report.json")
+    print(f"report: {json_path} (+ report.csv)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by ``python -m repro.cli``."""
     arguments = _build_parser().parse_args(argv)
@@ -266,8 +360,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if arguments.command == "baseline":
             return _command_baseline(arguments)
+        if arguments.command == "sweep":
+            return _command_sweep(arguments)
         return _command_search(arguments)
-    except SearchError as error:
+    except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

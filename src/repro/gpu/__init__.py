@@ -10,7 +10,7 @@ The usual entry point is::
     print(result.time_ms)
 """
 
-from .arch import ARCHITECTURES, EVALUATION_ORDER, GTX1080TI, P100, V100, GpuArch, architecture_table, get_arch
+from .arch import ARCHITECTURES, EVALUATION_ORDER, GTX1080TI, P100, V100, GpuArch, architecture_table, available_archs, get_arch, parse_arch_list, register_arch
 from .decoded import DecodedBlock, DecodedFunction, DecodedInstruction, decode_function
 from .memory import BufferHandle, GlobalMemory, SharedMemoryBlock, bank_conflicts, coalesced_transactions
 from .profiler import InstructionProfile, ProfileCollector
@@ -43,10 +43,13 @@ __all__ = [
     "WarpState",
     "WarpStatus",
     "architecture_table",
+    "available_archs",
     "bank_conflicts",
     "build_thread_identity",
     "coalesced_transactions",
     "cycles_to_milliseconds",
     "decode_function",
     "get_arch",
+    "parse_arch_list",
+    "register_arch",
 ]

@@ -147,13 +147,39 @@ V100 = GpuArch(
     warp_sync_latency=12,
 )
 
-#: All architectures evaluated in the paper, keyed by name.
+#: All known architectures, keyed by name.  The three paper presets are
+#: pre-registered; :func:`register_arch` adds custom ones (new latency
+#: models, hypothetical devices) so sweeps and the CLI can reach them by
+#: name without code changes elsewhere.
 ARCHITECTURES: Dict[str, GpuArch] = {
     arch.name: arch for arch in (P100, GTX1080TI, V100)
 }
 
 #: Evaluation order used throughout the paper's figures.
 EVALUATION_ORDER: Tuple[str, ...] = ("P100", "1080Ti", "V100")
+
+
+def register_arch(arch: GpuArch, *, overwrite: bool = False) -> GpuArch:
+    """Add *arch* to the registry so :func:`get_arch` can find it by name.
+
+    Registration is idempotent for an identical architecture; replacing an
+    existing name with a *different* description requires
+    ``overwrite=True`` (silently changing what "P100" means would poison
+    fitness-cache keys, which embed the arch name).
+    """
+    existing = ARCHITECTURES.get(arch.name)
+    if existing is not None and existing != arch and not overwrite:
+        raise ValueError(
+            f"architecture {arch.name!r} is already registered with a different "
+            "description; pass overwrite=True to replace it")
+    ARCHITECTURES[arch.name] = arch
+    return arch
+
+
+def available_archs() -> Tuple[str, ...]:
+    """Registered architecture names, paper evaluation order first."""
+    extras = tuple(name for name in ARCHITECTURES if name not in EVALUATION_ORDER)
+    return tuple(name for name in EVALUATION_ORDER if name in ARCHITECTURES) + extras
 
 
 def get_arch(name: str) -> GpuArch:
@@ -164,6 +190,26 @@ def get_arch(name: str) -> GpuArch:
     raise KeyError(
         f"unknown GPU architecture {name!r}; available: {sorted(ARCHITECTURES)}"
     )
+
+
+def parse_arch_list(spec: str) -> Tuple[str, ...]:
+    """Resolve a comma-separated architecture list to canonical names.
+
+    ``"p100,V100"`` -> ``("P100", "V100")``.  Unknown names raise
+    :class:`KeyError` (with the available names); duplicates collapse,
+    preserving first-seen order.
+    """
+    names = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        canonical = get_arch(part).name
+        if canonical not in names:
+            names.append(canonical)
+    if not names:
+        raise KeyError(f"no architectures in {spec!r}; available: {sorted(ARCHITECTURES)}")
+    return tuple(names)
 
 
 def architecture_table() -> Tuple[Dict[str, object], ...]:

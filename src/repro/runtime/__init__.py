@@ -14,11 +14,16 @@ process pool, against a persistent cache).  Typical usage::
     engine.close()   # flush the cache, stop the workers
 
 See :mod:`repro.runtime.engine` (executors + batch API),
-:mod:`repro.runtime.cache` (content-addressed fitness cache and the
-pluggable :class:`CacheStore` backends -- whole-document JSON or
-incremental WAL-mode SQLite, see :mod:`repro.runtime.sqlite_store`) and
-:mod:`repro.runtime.checkpoint` (the :class:`CheckpointableSearch`
-protocol behind checkpoint/resume for GEVO and both baselines).
+:mod:`repro.runtime.executors` (the async in-process and hash-sharded
+backends), :mod:`repro.runtime.cache` (content-addressed fitness cache
+and the pluggable :class:`CacheStore` backends -- whole-document JSON,
+incremental WAL-mode SQLite in :mod:`repro.runtime.sqlite_store`, or a
+directory of hash-partitioned SQLite shards in
+:mod:`repro.runtime.sharded_store`), :mod:`repro.runtime.checkpoint`
+(the :class:`CheckpointableSearch` protocol behind checkpoint/resume for
+GEVO and both baselines) and :mod:`repro.runtime.sweep` (the
+multi-architecture sweep orchestrator behind ``repro sweep``).
+A fuller guide lives in ``docs/runtime.md``.
 """
 
 from .cache import (
@@ -32,6 +37,7 @@ from .cache import (
     make_cache_store,
     result_from_dict,
     result_to_dict,
+    shard_index,
 )
 from .checkpoint import (
     CheckpointableSearch,
@@ -51,9 +57,20 @@ from .engine import (
     default_jobs,
     make_executor,
 )
+from .executors import AsyncExecutor, ShardedExecutor
+from .sharded_store import ShardedCacheStore
 from .sqlite_store import SqliteCacheStore
+from .sweep import (
+    LegOutcome,
+    SweepLeg,
+    SweepReport,
+    SweepSpec,
+    make_adapter,
+    run_sweep,
+)
 
 __all__ = [
+    "AsyncExecutor",
     "CacheKey",
     "CacheStats",
     "CacheStore",
@@ -63,20 +80,29 @@ __all__ = [
     "Executor",
     "FitnessCache",
     "JsonCacheStore",
+    "LegOutcome",
     "ParallelExecutor",
     "SearchCheckpoint",
     "SerialExecutor",
+    "ShardedCacheStore",
+    "ShardedExecutor",
     "SqliteCacheStore",
+    "SweepLeg",
+    "SweepReport",
+    "SweepSpec",
     "canonical_edit_hash",
     "canonical_edit_key",
     "default_jobs",
     "deserialize_history",
     "deserialize_individual",
+    "make_adapter",
     "make_cache_store",
     "make_executor",
     "resolve_checkpoint",
     "result_from_dict",
     "result_to_dict",
+    "run_sweep",
     "serialize_history",
     "serialize_individual",
+    "shard_index",
 ]

@@ -29,10 +29,15 @@ Disk persistence is pluggable through the :class:`CacheStore` interface:
   entry in a WAL-mode SQLite database; each flush upserts only the
   entries added or changed since the last one, so flush cost is
   O(new entries), not O(cache size).  The right tier for long sweeps.
+* :class:`~repro.runtime.sharded_store.ShardedCacheStore` -- a directory
+  of N SQLite shards with keys partitioned by :func:`shard_index`, so
+  concurrent writers (multi-process sweeps) rarely contend on one WAL
+  file.
 
-:func:`make_cache_store` picks a backend from an explicit name, the
-path's extension (``.sqlite`` / ``.sqlite3`` / ``.db``), or the on-disk
-file's magic bytes.  Both stores treat a cache file as disposable
+:func:`make_cache_store` picks a backend from an explicit name, an
+existing directory (sharded), the path's extension
+(``.sqlite`` / ``.sqlite3`` / ``.db``), or the on-disk
+file's magic bytes.  All stores treat a cache file as disposable
 acceleration state: corrupt or incompatible files behave like empty ones.
 ``inf`` runtimes of invalid variants round-trip through JSON's
 ``Infinity`` literal in either backend.
@@ -75,9 +80,60 @@ def canonical_edit_key(edits: Sequence[Edit]) -> Tuple[str, ...]:
 
 
 def canonical_edit_hash(edits: Sequence[Edit]) -> str:
-    """Hex digest of :func:`canonical_edit_key`, usable as a file-safe id."""
+    """Hex digest of :func:`canonical_edit_key`, usable as a file-safe id.
+
+    Invariant: the hash is **order-insensitive** over the edit multiset --
+    any permutation of the same edit list produces the same digest, so
+    permuted genomes share one cache entry -- and **duplicate-preserving**
+    (two copies of an edit hash differently from one).
+    """
     payload = "\n".join(canonical_edit_key(edits)).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()
+
+
+def shard_index(edit_hash: str, shards: int) -> int:
+    """Stable shard assignment for a canonical edit hash.
+
+    Shared by the :class:`~repro.runtime.sharded_store.ShardedCacheStore`
+    (which SQLite shard holds the row) and the
+    :class:`~repro.runtime.executors.ShardedExecutor` (which lane runs the
+    evaluation), so an edit set's evaluation and its cache row always
+    agree on a shard.  Derived from the hash prefix, not Python's
+    ``hash()``, so the assignment is stable across processes and runs.
+    """
+    return int(edit_hash[:8], 16) % max(1, shards)
+
+
+def _atomic_write(path: str, writer) -> None:
+    """Run *writer(handle)* against a temp file, then rename over *path*.
+
+    A crash mid-write never damages an existing file at *path*; readers
+    see either the old content or the new, never a torn mix.  The single
+    implementation behind the JSON cache tier, checkpoints, the
+    sharded-store manifest and the sweep record/report writers (pinned
+    by the crash tests in ``tests/runtime/test_durability.py``).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            writer(handle)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Atomically write *text* to *path* (tmp file + rename)."""
+    _atomic_write(path, lambda handle: handle.write(text))
+
+
+def atomic_write_json(path: str, document, **dump_kwargs) -> None:
+    """Atomically serialise *document* as JSON to *path* (streaming)."""
+    _atomic_write(path, lambda handle: json.dump(document, handle, **dump_kwargs))
 
 
 @dataclass(frozen=True)
@@ -206,33 +262,30 @@ class JsonCacheStore(CacheStore):
             "entries": {key.to_string(): result_to_dict(result)
                         for key, result in entries.items()},
         }
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(document, handle)
-            os.replace(temp_path, self.path)
-        except BaseException:
-            if os.path.exists(temp_path):
-                os.unlink(temp_path)
-            raise
+        atomic_write_json(self.path, document)
         self.last_flush_count = len(entries)
 
 
-def make_cache_store(path: str, backend: Optional[str] = None) -> CacheStore:
+def make_cache_store(path: str, backend: Optional[str] = None, *,
+                     shards: Optional[int] = None) -> CacheStore:
     """Build the cache store for *path*.
 
-    ``backend`` may be ``"json"``, ``"sqlite"``, or ``None``/``"auto"``.
-    Auto-detection prefers, in order: a SQLite file extension
-    (``.sqlite`` / ``.sqlite3`` / ``.db``), the SQLite magic bytes of an
-    existing file at *path*, and finally the JSON tier.  An existing JSON
-    cache opened with the SQLite backend is migrated in place on first
-    open (see :class:`~repro.runtime.sqlite_store.SqliteCacheStore`).
+    ``backend`` may be ``"json"``, ``"sqlite"``, ``"sharded"``, or
+    ``None``/``"auto"``.  Auto-detection prefers, in order: an existing
+    directory at *path* (the sharded tier keeps its shard files inside a
+    directory), a SQLite file extension (``.sqlite`` / ``.sqlite3`` /
+    ``.db``), the SQLite magic bytes of an existing file at *path*, and
+    finally the JSON tier.  An existing JSON cache opened with the SQLite
+    backend is migrated in place on first open (see
+    :class:`~repro.runtime.sqlite_store.SqliteCacheStore`).  ``shards``
+    sets the shard count when a *fresh* sharded store is created (an
+    existing store keeps the count it was created with).
     """
     if backend in (None, "auto"):
         extension = os.path.splitext(path)[1].lower()
-        if extension in SQLITE_EXTENSIONS:
+        if os.path.isdir(path):
+            backend = "sharded"
+        elif extension in SQLITE_EXTENSIONS:
             backend = "sqlite"
         elif _file_has_sqlite_magic(path):
             backend = "sqlite"
@@ -244,7 +297,12 @@ def make_cache_store(path: str, backend: Optional[str] = None) -> CacheStore:
         from .sqlite_store import SqliteCacheStore
 
         return SqliteCacheStore(path)
-    raise ValueError(f"unknown cache backend {backend!r} (expected 'auto', 'json' or 'sqlite')")
+    if backend == "sharded":
+        from .sharded_store import ShardedCacheStore
+
+        return ShardedCacheStore(path, shards=shards)
+    raise ValueError(f"unknown cache backend {backend!r} "
+                     "(expected 'auto', 'json', 'sqlite' or 'sharded')")
 
 
 def _file_has_sqlite_magic(path: str) -> bool:
@@ -295,11 +353,12 @@ class FitnessCache:
     """
 
     def __init__(self, path: Optional[str] = None, *, backend: Optional[str] = None,
-                 store: Optional[CacheStore] = None, autoload: bool = True):
+                 store: Optional[CacheStore] = None, autoload: bool = True,
+                 shards: Optional[int] = None):
         if store is not None:
             self._store: Optional[CacheStore] = store
         elif path is not None:
-            self._store = make_cache_store(path, backend)
+            self._store = make_cache_store(path, backend, shards=shards)
         else:
             self._store = None
         self.stats = CacheStats()
@@ -412,9 +471,19 @@ class FitnessCache:
             self._store.close()
 
     # -- bulk import/export (used by checkpoints) --------------------------------------
-    def export_entries(self) -> Dict[str, Dict[str, object]]:
+    def export_entries(self, *, workload_id: Optional[str] = None,
+                       arch_name: Optional[str] = None) -> Dict[str, Dict[str, object]]:
+        """Serialise entries, optionally restricted to one key namespace.
+
+        Checkpoints pass the owning engine's workload/arch so a search
+        sharing a big multi-leg cache (a sweep) snapshots only the
+        entries it can actually hit, instead of re-serialising every
+        other leg's results into every checkpoint.
+        """
         return {key.to_string(): result_to_dict(result)
-                for key, result in self._entries.items()}
+                for key, result in self._entries.items()
+                if (workload_id is None or key.workload_id == workload_id)
+                and (arch_name is None or key.arch_name == arch_name)}
 
     def import_entries(self, entries: Dict[str, Dict[str, object]]) -> int:
         imported = 0

@@ -38,8 +38,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -233,17 +231,9 @@ class SearchCheckpoint:
 
     def save(self, path: str) -> None:
         """Atomically write the checkpoint to *path* (tmp file + rename)."""
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(self.to_dict(), handle)
-            os.replace(temp_path, path)
-        except BaseException:
-            if os.path.exists(temp_path):
-                os.unlink(temp_path)
-            raise
+        from .cache import atomic_write_json
+
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: str) -> "SearchCheckpoint":
@@ -315,7 +305,11 @@ def capture_search_checkpoint(search, state: Dict[str, object]) -> SearchCheckpo
         history=search._history,
         baseline_runtime=search._history.baseline_runtime,
         state=state,
-        cache_entries=engine.cache.export_entries(),
+        # Restricted to this search's own key namespace: a search sharing
+        # a multi-leg cache (a sweep) must not re-serialise every other
+        # leg's entries into each of its checkpoints.
+        cache_entries=engine.cache.export_entries(
+            workload_id=engine.workload_id, arch_name=engine.arch_name),
     )
 
 

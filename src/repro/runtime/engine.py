@@ -25,9 +25,11 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import ExecutorError
 from ..gevo.edits import Edit, edit_from_dict
 from ..gevo.fitness import FitnessResult, WorkloadAdapter
 from ..gevo.genome import apply_edits
@@ -56,7 +58,23 @@ def _evaluate_one(adapter: WorkloadAdapter, original, edits: Sequence[Edit]) -> 
 # -- executors -----------------------------------------------------------------------
 
 class Executor:
-    """Strategy for running a batch of (deduplicated) fitness evaluations."""
+    """Strategy for running a batch of (deduplicated) fitness evaluations.
+
+    Contract every implementation must honour (pinned by the parity and
+    fault-handling batteries in ``tests/runtime/``):
+
+    * :meth:`run_batch` returns one :class:`FitnessResult` per edit set,
+      **in input order**, regardless of internal completion order;
+    * results are **bit-for-bit identical** across executors -- the
+      simulated GPU is deterministic, so serial, process-pool, async and
+      sharded execution must agree exactly;
+    * a failure mid-batch raises (ideally an
+      :class:`~repro.errors.ExecutorError`) instead of returning partial
+      results -- the engine only caches results from batches that
+      completed, so a raising batch never corrupts the cache;
+    * :meth:`close` releases resources and is idempotent; an executor
+      must remain usable for a fresh batch after a failed one.
+    """
 
     name = "executor"
 
@@ -135,7 +153,17 @@ class ParallelExecutor(Executor):
         pool = self._ensure_pool(adapter)
         serialised = [[edit.to_dict() for edit in edits] for edits in edit_sets]
         chunksize = max(1, len(serialised) // (self.jobs * 4))
-        return list(pool.map(_worker_evaluate, serialised, chunksize=chunksize))
+        try:
+            return list(pool.map(_worker_evaluate, serialised, chunksize=chunksize))
+        except BrokenProcessPool as exc:
+            # A worker died (OOM kill, hard crash).  The pool is unusable:
+            # tear it down so the *next* batch starts a fresh one, and
+            # surface one clean error for this batch.  No partial results
+            # reach the engine, so the cache stays consistent.
+            self.close()
+            raise ExecutorError(
+                "a worker process died mid-batch (killed or crashed); "
+                "the pool has been reset and the batch was not cached") from exc
 
     def close(self) -> None:
         if self._pool is not None:
@@ -144,12 +172,30 @@ class ParallelExecutor(Executor):
             self._adapter = None
 
 
-def make_executor(jobs: int) -> Executor:
-    """``jobs == 1`` -> serial; ``jobs < 1`` -> a pool with one worker per
-    core (capped); otherwise a pool with exactly *jobs* workers."""
-    if jobs == 1:
+def make_executor(jobs: int, kind: Optional[str] = None) -> Executor:
+    """Build the executor for a ``--jobs N`` / ``--executor KIND`` request.
+
+    With ``kind`` ``None``/``"auto"`` the historical rule applies:
+    ``jobs == 1`` -> serial; anything else -> a process pool (``jobs < 1``
+    means one worker per core, capped).  Explicit kinds: ``"serial"``,
+    ``"process"`` (:class:`ParallelExecutor`), ``"async"``
+    (:class:`~repro.runtime.executors.AsyncExecutor`) and ``"sharded"``
+    (:class:`~repro.runtime.executors.ShardedExecutor`); for those,
+    ``jobs`` sets the worker/lane count.
+    """
+    if kind in (None, "auto"):
+        return SerialExecutor() if jobs == 1 else ParallelExecutor(jobs)
+    if kind == "serial":
         return SerialExecutor()
-    return ParallelExecutor(jobs)
+    if kind == "process":
+        return ParallelExecutor(jobs)
+    if kind in ("async", "sharded"):
+        # Imported lazily: executors.py builds on the types defined here.
+        from .executors import AsyncExecutor, ShardedExecutor
+
+        return AsyncExecutor(jobs) if kind == "async" else ShardedExecutor(jobs)
+    raise ValueError(f"unknown executor kind {kind!r} (expected 'auto', "
+                     "'serial', 'process', 'async' or 'sharded')")
 
 
 # -- the engine ----------------------------------------------------------------------
@@ -218,6 +264,20 @@ class EvaluationEngine:
         Results come back in input order.  Within the batch, edit sets with
         the same canonical key are evaluated once; previously seen sets are
         served from the cache without touching the executor.
+
+        Invariants (pinned by ``tests/runtime/``):
+
+        * cache keys are **order-insensitive** over the edit multiset
+          (:func:`~repro.runtime.cache.canonical_edit_hash`), so permuted
+          but identical edit lists share one entry;
+        * results are bit-for-bit identical whichever executor runs the
+          misses (the simulated GPU is deterministic);
+        * an executor failure propagates **before** any of the batch's
+          results are cached -- a raising batch never corrupts the cache
+          or a checkpoint derived from it;
+        * a warm cache (disk tier or checkpoint import) means **zero
+          re-evaluation**: resumed searches never re-simulate a variant
+          measured before the interruption.
         """
         keys = [self.cache_key(edits) for edits in edit_sets]
         results: List[Optional[FitnessResult]] = [self.cache.get(key) for key in keys]

@@ -1,0 +1,122 @@
+"""Sharded SQLite tier of the fitness cache.
+
+One WAL-mode SQLite database (:mod:`repro.runtime.sqlite_store`) already
+makes flushes O(dirty entries), but it still serialises *writers*: SQLite
+allows a single writing process per database file, so concurrent sweep
+legs -- several ``repro sweep`` processes pointed at one shared cache, or
+sharded lanes flushing from one process -- would all contend on one WAL
+file.  This store removes that bottleneck by partitioning the key space:
+
+* the cache lives in a **directory** holding N independent SQLite shards
+  (``shard-00.sqlite`` ... ``shard-NN.sqlite``) plus a tiny
+  ``shards.json`` manifest recording the shard count;
+* every key is routed by :func:`~repro.runtime.cache.shard_index` over
+  the canonical edit hash -- the same stable partition function the
+  :class:`~repro.runtime.executors.ShardedExecutor` uses for its lanes --
+  so two writers touching different keys usually touch different shard
+  files and never rewrite each other's rows;
+* :meth:`load` merges all shards; :meth:`flush` groups dirty keys per
+  shard and flushes only the shards that own dirty rows, each through the
+  plain :class:`~repro.runtime.sqlite_store.SqliteCacheStore` (and
+  therefore with its crash-safety and corrupt-file-degradation
+  behaviour, shard by shard).
+
+The shard count is fixed at creation time (rerouting keys after rows
+exist would orphan them): reopening an existing store keeps the manifest
+count and ignores a conflicting ``shards=`` argument.  A missing manifest
+falls back to counting the shard files on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Set
+
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    CacheKey,
+    CacheStore,
+    atomic_write_json,
+    shard_index,
+)
+from .sqlite_store import SqliteCacheStore
+
+#: Default shard count for a freshly created store.
+DEFAULT_SHARDS = 4
+
+_MANIFEST_NAME = "shards.json"
+_SHARD_PREFIX = "shard-"
+_SHARD_SUFFIX = ".sqlite"
+
+
+class ShardedCacheStore(CacheStore):
+    """A directory of N SQLite shards with hash-partitioned keys."""
+
+    backend = "sharded"
+    #: Flushes touch only the shards owning dirty rows; no rate limit needed.
+    flush_interval = 0.0
+
+    def __init__(self, path: str, shards: Optional[int] = None):
+        super().__init__(path)
+        os.makedirs(path, exist_ok=True)
+        self.shards = self._resolve_shard_count(shards)
+        self._stores: List[SqliteCacheStore] = [
+            SqliteCacheStore(self.shard_path(index))
+            for index in range(self.shards)
+        ]
+        self._write_manifest()
+
+    # -- layout ------------------------------------------------------------------------
+    def shard_path(self, index: int) -> str:
+        return os.path.join(self.path, f"{_SHARD_PREFIX}{index:02d}{_SHARD_SUFFIX}")
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.path, _MANIFEST_NAME)
+
+    def _resolve_shard_count(self, requested: Optional[int]) -> int:
+        """Existing manifest > existing shard files > requested > default."""
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            count = int(manifest["shards"])
+            if count >= 1:
+                return count
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        on_disk = [name for name in os.listdir(self.path)
+                   if name.startswith(_SHARD_PREFIX) and name.endswith(_SHARD_SUFFIX)]
+        if on_disk:
+            return len(on_disk)
+        if requested is not None and requested >= 1:
+            return requested
+        return DEFAULT_SHARDS
+
+    def _write_manifest(self) -> None:
+        document = {"version": CACHE_FORMAT_VERSION, "shards": self.shards}
+        atomic_write_json(self.manifest_path, document)
+
+    def _shard_for(self, key: CacheKey) -> SqliteCacheStore:
+        return self._stores[shard_index(key.edit_hash, self.shards)]
+
+    # -- CacheStore interface ----------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, object]]:
+        entries: Dict[str, Dict[str, object]] = {}
+        for store in self._stores:
+            entries.update(store.load())
+        return entries
+
+    def flush(self, entries, dirty_keys: Set[CacheKey]) -> None:
+        per_shard: Dict[int, Set[CacheKey]] = {}
+        for key in dirty_keys:
+            per_shard.setdefault(shard_index(key.edit_hash, self.shards), set()).add(key)
+        flushed = 0
+        for index, keys in sorted(per_shard.items()):
+            self._stores[index].flush(entries, keys)
+            flushed += self._stores[index].last_flush_count
+        self.last_flush_count = flushed
+
+    def close(self) -> None:
+        for store in self._stores:
+            store.close()

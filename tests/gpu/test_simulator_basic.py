@@ -244,6 +244,45 @@ class TestLoopExecution:
         np.testing.assert_allclose(out, np.arange(32, dtype=float))
 
 
+class TestArchRegistry:
+    def test_lookup_is_case_insensitive(self):
+        from repro.gpu import parse_arch_list
+
+        assert parse_arch_list("p100, v100,P100") == ("P100", "V100")
+
+    def test_parse_rejects_unknown_names(self):
+        from repro.gpu import parse_arch_list
+
+        with pytest.raises(KeyError):
+            parse_arch_list("P100,K80")
+        with pytest.raises(KeyError):
+            parse_arch_list(" , ")
+
+    def test_register_arch_round_trip(self):
+        from repro.gpu import ARCHITECTURES, available_archs, register_arch
+
+        custom = get_arch("P100").with_overrides(name="P100-oc", clock_mhz=1600.0)
+        try:
+            register_arch(custom)
+            assert get_arch("p100-oc") is custom
+            assert available_archs()[-1] == "P100-oc"
+            # Idempotent for an identical description...
+            register_arch(custom)
+            # ...but replacing a name with a different arch must be explicit
+            # (the arch name is part of every fitness-cache key).
+            with pytest.raises(ValueError):
+                register_arch(custom.with_overrides(clock_mhz=1700.0))
+            register_arch(custom.with_overrides(clock_mhz=1700.0), overwrite=True)
+            assert get_arch("P100-oc").clock_mhz == 1700.0
+        finally:
+            ARCHITECTURES.pop("P100-oc", None)
+
+    def test_paper_archs_keep_evaluation_order_first(self):
+        from repro.gpu import available_archs
+
+        assert available_archs()[:3] == ("P100", "1080Ti", "V100")
+
+
 class TestArchitectureEffects:
     def test_clock_scales_time(self, axpy_kernel, axpy_inputs):
         x, y, n = axpy_inputs

@@ -1,0 +1,141 @@
+"""ShardedCacheStore: partitioning, round-trips, manifest, degradation."""
+
+import hashlib
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.gevo.fitness import CaseResult, FitnessResult
+from repro.runtime import (
+    CacheKey,
+    FitnessCache,
+    ShardedCacheStore,
+    make_cache_store,
+    shard_index,
+)
+from repro.runtime.executors import ShardedExecutor
+
+
+def _key(tag: str) -> CacheKey:
+    return CacheKey("workload", "P100", hashlib.sha256(tag.encode()).hexdigest())
+
+
+def _result(value: float) -> FitnessResult:
+    return FitnessResult(valid=True, runtime_ms=value,
+                         cases=[CaseResult("case", True, value)])
+
+
+def _shard_rows(path: str) -> int:
+    if not os.path.exists(path):
+        return 0
+    return sqlite3.connect(path).execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestShardIndex:
+    def test_stable_and_in_range(self):
+        digest = hashlib.sha256(b"x").hexdigest()
+        assert shard_index(digest, 4) == int(digest[:8], 16) % 4
+        for shards in (1, 2, 7):
+            assert 0 <= shard_index(digest, shards) < shards
+
+    def test_executor_and_store_agree_on_the_partition(self, store_dir):
+        """The executor's lane and the store's shard use one function."""
+        store = ShardedCacheStore(store_dir, shards=3)
+        executor = ShardedExecutor(3)
+        digest = hashlib.sha256(b"some edit set").hexdigest()
+        key = CacheKey("w", "a", digest)
+        assert store._shard_for(key) is store._stores[shard_index(digest, executor.shards)]
+        store.close()
+
+
+class TestShardedStore:
+    def test_round_trip_and_distribution(self, store_dir):
+        store = ShardedCacheStore(store_dir, shards=3)
+        entries = {_key(f"entry-{i}"): _result(float(i)) for i in range(24)}
+        store.flush(entries, set(entries))
+        assert store.last_flush_count == 24
+        loaded = store.load()
+        assert len(loaded) == 24
+        store.close()
+        # With 24 sha-distributed keys over 3 shards, more than one shard
+        # file must hold rows (the partition would be pointless otherwise).
+        populated = [index for index in range(3)
+                     if _shard_rows(store.shard_path(index)) > 0]
+        assert len(populated) > 1
+        assert sum(_shard_rows(store.shard_path(i)) for i in range(3)) == 24
+
+    def test_flush_touches_only_dirty_shards(self, store_dir):
+        store = ShardedCacheStore(store_dir, shards=4)
+        entries = {_key(f"entry-{i}"): _result(float(i)) for i in range(16)}
+        store.flush(entries, set(entries))
+        new_key = _key("late arrival")
+        entries[new_key] = _result(99.0)
+        store.flush(entries, {new_key})
+        assert store.last_flush_count == 1
+        store.close()
+
+    def test_manifest_wins_over_requested_shard_count(self, store_dir):
+        store = ShardedCacheStore(store_dir, shards=3)
+        entries = {_key(f"entry-{i}"): _result(float(i)) for i in range(12)}
+        store.flush(entries, set(entries))
+        store.close()
+        # Reopening with a different count must keep the original
+        # partition, or existing rows would become unreachable.
+        reopened = ShardedCacheStore(store_dir, shards=8)
+        assert reopened.shards == 3
+        assert len(reopened.load()) == 12
+        reopened.close()
+
+    def test_missing_manifest_falls_back_to_counting_shard_files(self, store_dir):
+        store = ShardedCacheStore(store_dir, shards=3)
+        entries = {_key(f"entry-{i}"): _result(float(i)) for i in range(12)}
+        store.flush(entries, set(entries))
+        store.close()
+        os.unlink(os.path.join(store_dir, "shards.json"))
+        reopened = ShardedCacheStore(store_dir)
+        assert reopened.shards == 3
+        reopened.close()
+
+    def test_corrupt_shard_degrades_to_empty_not_error(self, store_dir):
+        store = ShardedCacheStore(store_dir, shards=2)
+        entries = {_key(f"entry-{i}"): _result(float(i)) for i in range(12)}
+        store.flush(entries, set(entries))
+        store.close()
+        victim = store.shard_path(0)
+        healthy_rows = _shard_rows(store.shard_path(1))
+        with open(victim, "wb") as handle:
+            handle.write(b"not a database at all")
+        reopened = ShardedCacheStore(store_dir)
+        loaded = reopened.load()
+        reopened.close()
+        # The broken shard loads as empty (and is set aside, not deleted);
+        # the healthy shard's rows survive.
+        assert len(loaded) == healthy_rows
+        assert os.path.exists(victim + ".corrupt")
+
+
+class TestIntegration:
+    def test_fitness_cache_over_sharded_store(self, store_dir):
+        cache = FitnessCache(store_dir, backend="sharded", shards=3)
+        keys = [_key(f"entry-{i}") for i in range(10)]
+        for index, key in enumerate(keys):
+            cache.put(key, _result(float(index)))
+        cache.close()
+        warm = FitnessCache(store_dir, backend="sharded")
+        assert len(warm) == 10
+        assert warm.peek(keys[3]).runtime_ms == 3.0
+        warm.close()
+
+    def test_auto_detection_picks_sharded_for_directories(self, store_dir):
+        ShardedCacheStore(store_dir, shards=2).close()
+        store = make_cache_store(store_dir)
+        assert store.backend == "sharded"
+        assert store.shards == 2
+        store.close()

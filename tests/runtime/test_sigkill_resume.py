@@ -1,0 +1,108 @@
+"""Pinned repro for the known SIGKILL-mid-run resume divergence.
+
+ROADMAP (and docs/known-issues.md): resume is bit-for-bit for
+*cooperative* interruptions, but a hard SIGKILL mid-round can leave a
+resumed run ending with a different best / evaluation count than the
+uninterrupted run.  This test executes the exact recipe -- an
+uninterrupted reference run, then the same command SIGKILLed mid-run
+and resumed to completion -- and compares the outcomes.
+
+``xfail(strict=False)``: the kill lands at a nondeterministic point, so
+on a lucky round boundary the two runs agree and the test passes; when
+the underlying bug is fixed the test will always pass and should be
+promoted to a strict equivalence test next to the cooperative-resume
+batteries (tests/runtime/test_checkpoint.py).
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _command(checkpoint: str):
+    return [sys.executable, "-m", "repro.cli", "search", "toy",
+            "--population", "8", "--generations", "300", "--seed", "5",
+            "--resume", checkpoint]
+
+
+def _environment():
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _outcome(stdout: str):
+    match = re.search(r"best speedup: ([0-9.]+)x with (\d+) edits "
+                      r"\((\d+) evaluations", stdout)
+    assert match, f"unparseable search output:\n{stdout}"
+    return float(match.group(1)), int(match.group(2)), int(match.group(3))
+
+
+def _wait_for_generation(checkpoint: str, generation: int, timeout: float) -> bool:
+    """Poll the checkpoint until its round counter reaches *generation*."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(checkpoint, "r", encoding="utf-8") as handle:
+                state = json.load(handle).get("state", {})
+            if int(state.get("generation", 0)) >= generation:
+                return True
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    return False
+
+
+@pytest.mark.xfail(
+    strict=False,
+    reason="known issue: SIGKILL-mid-run resume is not bit-for-bit "
+           "(see docs/known-issues.md); passes only when the kill lands "
+           "on a lucky round boundary")
+def test_sigkill_mid_run_resume_matches_uninterrupted_run(tmp_path):
+    env = _environment()
+
+    reference = subprocess.run(
+        _command(str(tmp_path / "reference-ckpt.json")),
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=600)
+    assert reference.returncode == 0, reference.stderr
+    expected = _outcome(reference.stdout)
+
+    killed_checkpoint = str(tmp_path / "killed-ckpt.json")
+    victim = subprocess.Popen(
+        _command(killed_checkpoint),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env, cwd=REPO_ROOT)
+    try:
+        # Let the run get well past the warm-up, then kill it hard,
+        # mid-round with overwhelming probability.
+        mid_run = _wait_for_generation(killed_checkpoint, 60, timeout=240)
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=60)
+        assert mid_run, "the run never reached generation 60 before the timeout"
+        assert victim.returncode != 0, "the run finished before it could be killed"
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=60)
+
+    resumed = subprocess.run(
+        _command(killed_checkpoint),
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=600)
+    assert resumed.returncode == 0, resumed.stderr
+    assert "resuming from" in resumed.stdout
+
+    # The divergence under test: the resumed timeline should reproduce
+    # the uninterrupted one exactly, but today it usually does not.
+    assert _outcome(resumed.stdout) == expected

@@ -83,6 +83,12 @@ class TestBaselineCli:
         assert "resuming from" in output
         assert "0 evaluations" in output
 
+    def test_executor_flag_selects_the_backend(self, capsys):
+        assert main(["search", "toy", "--population", "6", "--generations", "2",
+                     "--seed", "3", "--jobs", "2", "--executor", "async"]) == 0
+        output = capsys.readouterr().out
+        assert "executor=async" in output and "best speedup" in output
+
     def test_mismatched_resume_is_a_clean_error(self, capsys, tmp_path):
         checkpoint = str(tmp_path / "ckpt.json")
         assert main(["baseline", "random", "toy", "--population", "6",
@@ -92,3 +98,63 @@ class TestBaselineCli:
         # Same checkpoint, different algorithm: refused, not mangled.
         assert main(["baseline", "hill", "toy", "--resume", checkpoint]) == 2
         assert "random_search" in capsys.readouterr().err
+
+
+class TestSweepCli:
+    ARGS = ["sweep", "--arch", "P100,V100", "--workload", "toy",
+            "--seeds", "0,1", "--population", "4", "--generations", "2",
+            "--executor", "async", "--jobs", "2"]
+
+    def test_sweep_produces_one_aggregated_report(self, capsys, tmp_path):
+        sweep_dir = str(tmp_path / "sweep")
+        assert main(self.ARGS + ["--sweep-dir", sweep_dir]) == 0
+        output = capsys.readouterr().out
+        assert "4 legs" in output
+        assert "report:" in output
+        import json
+        with open(f"{sweep_dir}/report.json") as handle:
+            assert len(json.load(handle)["legs"]) == 4
+        assert "workload,arch,seed" in open(f"{sweep_dir}/report.csv").read()
+
+    def test_sweep_resume_skips_finished_legs(self, capsys, tmp_path):
+        sweep_dir = str(tmp_path / "sweep")
+        assert main(self.ARGS + ["--sweep-dir", sweep_dir]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--sweep-dir", sweep_dir, "--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "4 skipped" in output
+        assert "0 fresh evaluations" in output
+
+    def test_sweep_workload_alias_and_runs_default(self, capsys, tmp_path):
+        # "adept" resolves to "adept-v1" end-to-end; --runs N yields
+        # seeds 0..N-1.  One ADEPT generation keeps this cheap (~0.2s).
+        sweep_dir = str(tmp_path / "sweep")
+        assert main(["sweep", "--arch", "p100", "--workload", "adept",
+                     "--runs", "1", "--population", "4", "--generations", "1",
+                     "--sweep-dir", sweep_dir]) == 0
+        output = capsys.readouterr().out
+        assert "1 legs" in output
+        assert "gevo-adept-v1-P100-seed0" in output
+
+    def test_sweep_unknown_arch_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["sweep", "--arch", "K80", "--workload", "toy",
+                     "--sweep-dir", str(tmp_path / "s")]) == 2
+        assert "unknown GPU architecture" in capsys.readouterr().err
+
+    def test_sweep_bad_seeds_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["sweep", "--arch", "P100", "--workload", "toy",
+                     "--seeds", "0,x", "--sweep-dir", str(tmp_path / "s")]) == 2
+        assert "--seeds expects" in capsys.readouterr().err
+
+    def test_sweep_resume_with_changed_budget_is_a_clean_error(self, capsys, tmp_path):
+        sweep_dir = str(tmp_path / "sweep")
+        base = ["sweep", "--arch", "P100", "--workload", "toy", "--seeds", "0",
+                "--generations", "1", "--population", "4", "--sweep-dir", sweep_dir]
+        assert main(base) == 0
+        capsys.readouterr()
+        # Re-running with --resume under a bigger budget must refuse, not
+        # silently republish the small run's results.
+        assert main(["sweep", "--arch", "P100", "--workload", "toy",
+                     "--seeds", "0", "--generations", "6", "--population", "8",
+                     "--sweep-dir", sweep_dir, "--resume"]) == 2
+        assert "re-run with the original budget" in capsys.readouterr().err

@@ -1,0 +1,35 @@
+"""Intra-repo markdown links must resolve (mirrors the CI docs job)."""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_checker():
+    path = os.path.join(REPO_ROOT, "tools", "check_markdown_links.py")
+    spec = importlib.util.spec_from_file_location("check_markdown_links", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    for name in ("ARCHITECTURE.md", "runtime.md", "known-issues.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", name)), name
+    readme = open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8").read()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/runtime.md" in readme
+
+
+def test_markdown_links_resolve():
+    checker = _load_checker()
+    problems = checker.check_tree(REPO_ROOT)
+    assert problems == []
+
+
+def test_checker_catches_broken_links(tmp_path):
+    (tmp_path / "doc.md").write_text("see [missing](nope/absent.md)")
+    checker = _load_checker()
+    problems = checker.check_tree(str(tmp_path))
+    assert len(problems) == 1 and "absent.md" in problems[0]
