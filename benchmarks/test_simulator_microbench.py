@@ -1,16 +1,22 @@
 """Micro-benchmarks of the simulated GPU itself (wall-clock of the simulator).
 
-Two families live here:
+Three families live here:
 
 * conventional pytest-benchmark measurements of each workload's simulator
   wall-clock, useful when tuning the interpreter;
-* the **fast-path regression gate**: timed comparisons of the decode-once
-  dispatch-table interpreter against the tree-walking reference on the
-  simulator hot loop, asserting a minimum speedup and appending every
-  measurement to ``BENCH_simulator.json`` so the trajectory of the
-  simulator's own performance accumulates across runs (CI restores the
-  previous trajectory with actions/cache before the gate and uploads the
-  grown file as an artifact).
+* the **dispatch-tier regression gate**: timed comparisons of the
+  decode-once dispatch-table interpreter against the tree-walking
+  reference on the simulator hot loop;
+* the **JIT-tier regression gate**: the exec-compiled segment tier
+  against both the oracle (hot loop) and the dispatch tier (end-to-end
+  ADEPT / SIMCoV).
+
+Both gates append every measurement to ``BENCH_simulator.json`` so the
+trajectory of the simulator's own performance accumulates across runs
+(CI restores the previous trajectory with actions/cache before the gate,
+uploads the grown file as an artifact, and a non-blocking job fails when
+the JIT hot-loop speedup regresses run-over-run; see
+``tools/check_perf_regression.py``).
 """
 
 import json
@@ -30,13 +36,21 @@ from repro.workloads.simcov import SimCovDriver, SimCovParams
 #: Appended to on every gate run: one JSON document holding a list of runs.
 BENCH_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
-#: Required fast-path speedup over the reference interpreter on the
+#: Required dispatch-tier speedup over the reference interpreter on the
 #: straight-line hot loop (measured ~4-5x; 2.0 leaves headroom for CI noise).
 HOT_LOOP_MIN_SPEEDUP = 2.0
 
 #: Softer floor for the divergence/memory-heavy end-to-end workloads, where
 #: genuine model work (coalescing analysis, masked merges) bounds the gain.
 WORKLOAD_MIN_SPEEDUP = 1.15
+
+#: Required JIT-tier speedup over the *oracle* on the hot loop (measured
+#: ~10x; 8.0 is the headline the tier exists to defend).
+JIT_HOT_LOOP_MIN_SPEEDUP = 8.0
+
+#: Required JIT-tier end-to-end speedup over the *dispatch* tier on the
+#: ADEPT and SIMCoV workloads (measured ~1.35-1.55x).
+JIT_WORKLOAD_MIN_SPEEDUP = 1.3
 
 
 @pytest.fixture(scope="module")
@@ -113,16 +127,17 @@ def best_of(fn, repeat=5):
     return best
 
 
-def measure_speedup(run_with_device, arch_name="P100", repeat=5):
+def measure_speedup(run_with_device, arch_name="P100", repeat=5,
+                    fast_tier="dispatch", reference_tier="oracle"):
     """(fast_s, reference_s, fast LaunchResult-like, ref ditto) for one scenario.
 
     ``run_with_device(device)`` must run the scenario on the given device
     and return something with ``cycles``-comparable content (or None).
     """
     arch = get_arch(arch_name)
-    fast_device = GpuDevice(arch, fast_path=True)
-    reference_device = GpuDevice(arch, fast_path=False)
-    fast_result = run_with_device(fast_device)       # warm-up + decode
+    fast_device = GpuDevice(arch, fast_path=fast_tier)
+    reference_device = GpuDevice(arch, fast_path=reference_tier)
+    fast_result = run_with_device(fast_device)       # warm-up + decode/compile
     reference_result = run_with_device(reference_device)
     fast_s = best_of(lambda: run_with_device(fast_device), repeat)
     reference_s = best_of(lambda: run_with_device(reference_device), repeat)
@@ -183,6 +198,7 @@ def test_fast_path_speedup_gate():
     append_bench_entry({
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
+        "gate": "dispatch",
         "hot_loop": {"fast_s": fast_s, "reference_s": reference_s,
                      "speedup": hot_speedup},
         "adept_v1": {"fast_s": adept_fast, "reference_s": adept_reference,
@@ -199,3 +215,93 @@ def test_fast_path_speedup_gate():
         f"ADEPT-V1 fast path below floor: {adept_reference / adept_fast:.2f}x")
     assert simcov_reference / simcov_fast >= WORKLOAD_MIN_SPEEDUP, (
         f"SIMCoV fast path below floor: {simcov_reference / simcov_fast:.2f}x")
+
+
+# --------------------------------------------------------------------------- JIT gate
+def measure_speedup_with_retry(run_with_device, floor, repeat=3, attempts=2,
+                               **kwargs):
+    """Like :func:`measure_speedup`, re-measuring once if the ratio lands
+    under *floor* (a perf gate should not flake on one noisy scheduler
+    window); keeps the best attempt."""
+    best = None
+    for _ in range(attempts):
+        sample = measure_speedup(run_with_device, repeat=repeat, **kwargs)
+        if best is None or sample[1] / sample[0] > best[1] / best[0]:
+            best = sample
+        if best[1] / best[0] >= floor:
+            break
+    return best
+
+
+def test_jit_speedup_gate():
+    """Regression gate for the segment-JIT tier.
+
+    The JIT must stay >= 8x over the tree-walking oracle on the
+    straight-line hot loop, and >= 1.3x end-to-end over the dispatch tier
+    on ADEPT-V1 and SIMCoV (full fitness-grid configuration) -- the two
+    workloads whose shape (partial warps, divergence, memory pricing) the
+    masked/mega-closure compilation exists for.  Equivalence of the
+    measured launches is re-checked so speed can never be bought with
+    drift, and the measurement is appended to the benchmark trajectory.
+    """
+    module = build_hot_loop_module()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=256)
+    args = {"x": x, "n": 40}
+
+    def hot_loop(device):
+        return device.launch(module, 4, 64, dict(args, out=np.zeros(256)),
+                             kernel_name="hotloop")
+
+    jit_s, oracle_s, jit_result, oracle_result = measure_speedup_with_retry(
+        hot_loop, JIT_HOT_LOOP_MIN_SPEEDUP, repeat=5,
+        fast_tier="jit", reference_tier="oracle")
+    assert jit_result.cycles == oracle_result.cycles
+    assert jit_result.counters == oracle_result.counters
+    hot_speedup = oracle_s / jit_s
+
+    # End-to-end workloads against the *dispatch* tier (the PR 3
+    # baseline): a fresh driver per run, exactly how a search evaluates a
+    # candidate (decode + segment compilation are part of the cost).
+    pairs = generate_pairs(2, reference_length=48, query_length=30, seed=3)
+
+    def adept(device):
+        return AdeptDriver.for_version("v1", pairs, device).run(pairs)
+
+    adept_jit, adept_dispatch, jit_run, dispatch_run = measure_speedup_with_retry(
+        adept, JIT_WORKLOAD_MIN_SPEEDUP, attempts=3, fast_tier="jit",
+        reference_tier="dispatch")
+    assert jit_run.kernel_time_ms == dispatch_run.kernel_time_ms
+
+    params = SimCovParams()  # the paper-scaled fitness grid, not the toy one
+
+    def simcov(device):
+        return SimCovDriver(device=device).run(params)
+
+    simcov_jit, simcov_dispatch, jit_run, dispatch_run = measure_speedup_with_retry(
+        simcov, JIT_WORKLOAD_MIN_SPEEDUP, attempts=3, fast_tier="jit",
+        reference_tier="dispatch")
+    assert jit_run.kernel_time_ms == dispatch_run.kernel_time_ms
+
+    append_bench_entry({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "gate": "jit",
+        "hot_loop": {"jit_s": jit_s, "oracle_s": oracle_s,
+                     "speedup": hot_speedup},
+        "adept_v1": {"jit_s": adept_jit, "dispatch_s": adept_dispatch,
+                     "speedup": adept_dispatch / adept_jit},
+        "simcov": {"jit_s": simcov_jit, "dispatch_s": simcov_dispatch,
+                   "speedup": simcov_dispatch / simcov_jit},
+    })
+
+    assert hot_speedup >= JIT_HOT_LOOP_MIN_SPEEDUP, (
+        f"segment JIT regressed: {hot_speedup:.2f}x < "
+        f"{JIT_HOT_LOOP_MIN_SPEEDUP}x over the oracle on the hot loop "
+        f"(jit {jit_s * 1e3:.2f} ms, oracle {oracle_s * 1e3:.2f} ms)")
+    assert adept_dispatch / adept_jit >= JIT_WORKLOAD_MIN_SPEEDUP, (
+        f"ADEPT-V1 JIT below floor vs dispatch: "
+        f"{adept_dispatch / adept_jit:.2f}x")
+    assert simcov_dispatch / simcov_jit >= JIT_WORKLOAD_MIN_SPEEDUP, (
+        f"SIMCoV JIT below floor vs dispatch: "
+        f"{simcov_dispatch / simcov_jit:.2f}x")

@@ -71,10 +71,18 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="shard count when creating a fresh sharded cache (an existing "
              "sharded cache keeps the count it was created with)")
     parser.add_argument(
+        "--interpreter-tier", choices=["auto", "jit", "dispatch", "oracle"],
+        default="auto",
+        help="which of the three bit-for-bit-equivalent simulator tiers to "
+             "evaluate on: the exec-compiled segment JIT (fastest, the "
+             "default), the decode-once dispatch tables, or the "
+             "tree-walking reference oracle (slowest; for debugging the "
+             "simulator itself)")
+    parser.add_argument(
         "--reference-interpreter", action="store_true",
-        help="evaluate on the tree-walking reference interpreter instead of "
-             "the decode-once fast path (bit-for-bit identical results, "
-             "several times slower; for debugging the simulator itself)")
+        help="shorthand for --interpreter-tier oracle (kept from before the "
+             "tier flag existed); combining it with any other explicit tier "
+             "is an error")
 
 
 def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
@@ -167,6 +175,25 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_interpreter_tier(arguments: argparse.Namespace) -> Optional[str]:
+    """The interpreter tier the flags select, or ``None`` for the default.
+
+    ``--reference-interpreter`` is the historical spelling of
+    ``--interpreter-tier oracle``; naming both is fine when they agree and
+    a hard error when they contradict (silently preferring one would make
+    a debugging run measure the wrong interpreter).
+    """
+    tier = None if arguments.interpreter_tier == "auto" else arguments.interpreter_tier
+    if arguments.reference_interpreter:
+        if tier not in (None, "oracle"):
+            raise ReproError(
+                f"--reference-interpreter selects the oracle tier but "
+                f"--interpreter-tier {tier} asks for a different one; "
+                "drop one of the two flags")
+        return "oracle"
+    return tier
+
+
 def _make_engine(adapter, arguments: argparse.Namespace) -> EvaluationEngine:
     backend = None if arguments.cache_backend == "auto" else arguments.cache_backend
     return EvaluationEngine(
@@ -220,7 +247,7 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
 def _command_search(arguments: argparse.Namespace) -> int:
     adapter = make_adapter(arguments.workload, arguments.arch,
-                           arguments.reference_interpreter)
+                           interpreter_tier=_resolve_interpreter_tier(arguments))
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
@@ -250,7 +277,7 @@ def _command_search(arguments: argparse.Namespace) -> int:
 
 def _command_baseline(arguments: argparse.Namespace) -> int:
     adapter = make_adapter(arguments.workload, arguments.arch,
-                           arguments.reference_interpreter)
+                           interpreter_tier=_resolve_interpreter_tier(arguments))
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
@@ -296,6 +323,7 @@ def _command_baseline(arguments: argparse.Namespace) -> int:
 
 
 def _command_sweep(arguments: argparse.Namespace) -> int:
+    interpreter_tier = _resolve_interpreter_tier(arguments)
     try:
         archs = parse_arch_list(arguments.arch)
         workloads = [resolve_workload(name.strip())
@@ -337,7 +365,7 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         cache_backend=backend,
         cache_shards=arguments.cache_shards,
         checkpoint_every=arguments.checkpoint_every,
-        reference_interpreter=arguments.reference_interpreter,
+        interpreter_tier=interpreter_tier,
         progress=narrate,
     )
     print()

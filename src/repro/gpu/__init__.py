@@ -10,8 +10,9 @@ The usual entry point is::
     print(result.time_ms)
 """
 
-from .arch import ARCHITECTURES, EVALUATION_ORDER, GTX1080TI, P100, V100, GpuArch, architecture_table, available_archs, get_arch, parse_arch_list, register_arch
+from .arch import ARCHITECTURES, EVALUATION_ORDER, GTX1080TI, INTERPRETER_TIERS, P100, V100, GpuArch, architecture_table, available_archs, get_arch, normalize_interpreter_tier, parse_arch_list, register_arch
 from .decoded import DecodedBlock, DecodedFunction, DecodedInstruction, decode_function
+from .jitted import attach_jit, jit_function
 from .memory import BufferHandle, GlobalMemory, SharedMemoryBlock, bank_conflicts, coalesced_transactions
 from .profiler import InstructionProfile, ProfileCollector
 from .simulator import LAUNCH_OVERHEAD_CYCLES, BlockResult, GpuDevice, LaunchResult
@@ -31,6 +32,7 @@ __all__ = [
     "GlobalMemory",
     "GpuArch",
     "GpuDevice",
+    "INTERPRETER_TIERS",
     "InstructionProfile",
     "LAUNCH_OVERHEAD_CYCLES",
     "LaunchResult",
@@ -43,6 +45,7 @@ __all__ = [
     "WarpState",
     "WarpStatus",
     "architecture_table",
+    "attach_jit",
     "available_archs",
     "bank_conflicts",
     "build_thread_identity",
@@ -50,6 +53,8 @@ __all__ = [
     "cycles_to_milliseconds",
     "decode_function",
     "get_arch",
+    "jit_function",
+    "normalize_interpreter_tier",
     "parse_arch_list",
     "register_arch",
 ]

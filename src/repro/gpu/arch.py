@@ -17,7 +17,39 @@ free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
+
+#: The three interpreter tiers a simulated device can execute through,
+#: slowest (and most readable) first.  All three are bit-for-bit
+#: equivalent -- same cycles, counters, profiler statistics, RNG streams
+#: and trap messages -- pinned by ``tests/gpu/test_fast_path_equivalence.py``.
+INTERPRETER_TIERS: Tuple[str, ...] = ("oracle", "dispatch", "jit")
+
+#: The tier selected by ``fast_path=True`` (the default): the segment-JIT
+#: interpreter, which exec-compiles straight-line segments into single
+#: Python functions on top of the decoded dispatch tables.
+DEFAULT_FAST_TIER = "jit"
+
+
+def normalize_interpreter_tier(value: Union[bool, str, None]) -> str:
+    """Canonical tier name for a ``fast_path`` / tier selector value.
+
+    Accepts the historical booleans (``True`` -> the default fast tier,
+    ``False`` -> the tree-walking oracle), ``None`` (the default fast
+    tier) and tier names with their aliases (``reference`` -> ``oracle``,
+    ``decoded``/``fast`` -> ``dispatch``).
+    """
+    if value is None or value is True:
+        return DEFAULT_FAST_TIER
+    if value is False:
+        return "oracle"
+    tier = str(value).lower()
+    tier = {"reference": "oracle", "decoded": "dispatch", "fast": "dispatch"}.get(tier, tier)
+    if tier not in INTERPRETER_TIERS:
+        raise ValueError(
+            f"unknown interpreter tier {value!r}; expected one of "
+            f"{INTERPRETER_TIERS} (or a fast_path boolean)")
+    return tier
 
 
 @dataclass(frozen=True)
@@ -39,13 +71,16 @@ class GpuArch:
     #: primitives (ballot_sync / syncwarp) then carry a real cost.
     independent_thread_scheduling: bool = False
 
-    #: Execute kernels through the decode-once dispatch-table interpreter
-    #: (:mod:`repro.gpu.decoded`).  Bit-for-bit equivalent to the
-    #: tree-walking reference path; set to ``False`` (or pass
-    #: ``fast_path=False`` to :class:`~repro.gpu.simulator.GpuDevice`, or
-    #: use the CLI ``--reference-interpreter`` flag) to fall back to the
-    #: reference interpreter when debugging the simulator itself.
-    fast_path: bool = True
+    #: Which interpreter tier kernels execute through.  ``True`` (the
+    #: default) selects the fastest tier (segment JIT); a tier name from
+    #: :data:`INTERPRETER_TIERS` (``"oracle"`` / ``"dispatch"`` /
+    #: ``"jit"``) pins a specific tier; ``False`` falls back to the
+    #: tree-walking reference oracle (also reachable per device via
+    #: ``GpuDevice(..., fast_path=...)`` or the CLI
+    #: ``--interpreter-tier`` / ``--reference-interpreter`` flags).  All
+    #: tiers are bit-for-bit equivalent; the slower ones exist for
+    #: debugging the simulator itself.
+    fast_path: Union[bool, str] = True
 
     # --- cost-model latencies, in cycles -------------------------------------
     alu_latency: int = 4

@@ -26,6 +26,12 @@ execution is bit-for-bit equivalent to the reference path -- same cycle
 counts, cost-model counters, profiler statistics, trap messages and RNG
 streams -- which the differential battery in
 ``tests/gpu/test_fast_path_equivalence.py`` pins.
+
+This is the middle of the simulator's three interpreter tiers: the
+segment JIT (:mod:`repro.gpu.jitted`, the default) builds on these
+decoded programs by exec-compiling each straight-line segment into one
+Python function, and falls back to this dispatch loop for barrier
+resumes, budget edges and partial compilation.
 """
 
 from __future__ import annotations
@@ -104,7 +110,7 @@ class Segment:
     """
 
     __slots__ = ("kind", "start", "body", "static_cycles", "counter_totals",
-                 "exact")
+                 "exact", "jit_fns")
 
     def __init__(self, start: int):
         self.kind = STEP_SEGMENT
@@ -113,6 +119,10 @@ class Segment:
         self.static_cycles = 0.0
         self.counter_totals: List[tuple] = []
         self.exact = True
+        #: Exec-compiled ``(full-mask, masked)`` whole-segment function pair
+        #: (see :mod:`repro.gpu.jitted`), attached lazily by the JIT tier
+        #: and only for ``exact`` segments; the dispatch tier never calls it.
+        self.jit_fns = None
 
     def finalize(self) -> None:
         totals: Dict[str, float] = {}
@@ -172,13 +182,18 @@ class DecodedFunction:
     would pin every decoded variant for the life of the process.
     """
 
-    __slots__ = ("blocks", "postdominators", "warp_size")
+    __slots__ = ("blocks", "postdominators", "warp_size", "jit_ready")
 
     def __init__(self, blocks: Dict[str, DecodedBlock],
                  postdominators: Dict[str, Optional[str]], warp_size: int):
         self.blocks = blocks
         self.postdominators = postdominators
         self.warp_size = warp_size
+        #: Set once :func:`repro.gpu.jitted.attach_jit` has compiled the
+        #: exact segments; lives (and dies) with the decoded program in
+        #: ``Function.cached_decoding``, so a mutation that re-decodes the
+        #: function also recompiles its segments.
+        self.jit_ready = False
 
 
 # --------------------------------------------------------------------------- operand slots
@@ -358,7 +373,6 @@ def _build_atomic(instruction: Instruction, warp_size: int) -> ExecuteFn:
     dest = instruction.dest
     all_lanes = np.arange(warp_size)
     all_lanes.flags.writeable = False
-    vectorizable = opcode in ("atomic.add", "atomic.exch")
 
     def execute(ex, mask, full):
         handle = get_base(ex)
@@ -373,11 +387,13 @@ def _build_atomic(instruction: Instruction, warp_size: int) -> ExecuteFn:
         compare = get_compare(ex) if get_compare is not None else None
         value = get_value(ex)
         array = handle.array
-        if vectorizable and active_idx.size > 1:
+        if active_idx.size > 1:
             # With no address collisions the lanes cannot observe each
             # other's updates, so the serial per-lane loop collapses to
             # element-wise reads/writes with identical results (add uses
-            # the same IEEE scalar additions; exch just stores).
+            # the same IEEE scalar additions; exch just stores; max and
+            # cas select per lane with the loop's exact comparison
+            # direction, so NaN/Inf operands behave identically).
             sorted_idx = np.sort(active_idx)
             if (sorted_idx[1:] != sorted_idx[:-1]).all():
                 old = array[active_idx]
@@ -387,6 +403,17 @@ def _build_atomic(instruction: Instruction, warp_size: int) -> ExecuteFn:
                 # reference's per-lane scalar stores.
                 if opcode == "atomic.add":
                     array[active_idx] = old + active_values
+                elif opcode == "atomic.max":
+                    # The loop's max(old, new) keeps old unless new > old,
+                    # so any NaN comparison preserves old -- np.where with
+                    # the same predicate reproduces that bit-for-bit.
+                    array[active_idx] = np.where(active_values > old,
+                                                 active_values, old)
+                elif opcode == "atomic.cas":
+                    # The loop stores new only where old == compare; NaN
+                    # never compares equal, so NaN slots keep old.
+                    array[active_idx] = np.where(old == compare[lanes],
+                                                 active_values, old)
                 else:  # atomic.exch
                     array[active_idx] = active_values
                 if dest is not None:

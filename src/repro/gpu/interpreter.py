@@ -27,7 +27,7 @@ from .memory import BufferHandle, SharedMemoryBlock
 from .profiler import InstructionProfile, ProfileCollector
 from .rng import counter_uniform
 from .timing import CostModel, MemoryAccessInfo
-from .warp import StackEntry, WarpState, WarpStatus
+from .warp import StackEntry, WarpState, WarpStatus, broadcast_scalar_arrays
 
 _INT = np.int64
 _FLOAT = np.float64
@@ -41,12 +41,14 @@ STEP_SEGMENT, STEP_BR, STEP_CONDBR, STEP_RET, STEP_BARRIER = range(5)
 class WarpExecutor:
     """Executes one warp of a thread block until it blocks or finishes.
 
-    Two execution paths exist.  The *reference* path walks the IR tree,
+    Three execution tiers exist.  The *reference* path walks the IR tree,
     re-dispatching on string opcodes for every executed instruction.  When
     a decoded program (:class:`repro.gpu.decoded.DecodedFunction`) is
     supplied, :meth:`run` instead executes pre-bound handler closures in
-    block-local straight-line batches -- bit-for-bit equivalent, several
-    times faster.
+    block-local straight-line batches (the *dispatch* tier); with ``jit``
+    set as well, segments carrying compiled kernels
+    (:mod:`repro.gpu.jitted`) execute as single calls.  All tiers are
+    bit-for-bit equivalent; each step up is several times faster.
     """
 
     def __init__(
@@ -61,8 +63,19 @@ class WarpExecutor:
         profiler: ProfileCollector,
         max_instructions: int = 1_000_000,
         decoded=None,
+        jit: bool = False,
+        scalar_arrays: Optional[Dict[str, np.ndarray]] = None,
     ):
         self._decoded = decoded
+        #: Execute compiled segment kernels (:mod:`repro.gpu.jitted`) when
+        #: the decoded program carries them; the dispatch tier leaves this
+        #: off so it measures (and exercises) the pure dispatch loop.
+        self._jit = bool(jit) and decoded is not None
+        #: Launch-level cache of (InstructionProfile, cost) bindings, keyed
+        #: by compiled-segment id and shared by every warp of the launch --
+        #: lets a compiled segment bump profile objects directly instead of
+        #: probing the profiler dict per instruction per execution.
+        self._jit_profiles: Dict[int, tuple] = profiler.jit_bindings
         self.function = function
         self.warp = warp
         self.shared = shared
@@ -72,23 +85,21 @@ class WarpExecutor:
         self.max_instructions = max_instructions
         self.warp_size = warp.warp_size
         # Pre-bind parameters and shared arrays into the register file.
+        # Scalar parameters broadcast to read-only per-lane arrays; the
+        # launch builds (and caches) them once per (params, warp size)
+        # instead of once per warp (`scalar_arrays`); direct constructions
+        # without one fall back to the same shared rule.
+        if scalar_arrays is None:
+            scalar_arrays = broadcast_scalar_arrays(scalar_bindings,
+                                                    self.warp_size)
         for param in function.params:
             if param.kind == "buffer":
                 self.warp.registers[param.name] = global_bindings[param.name]
             else:
-                value = scalar_bindings[param.name]
-                dtype = _INT if float(value) == int(value) else _FLOAT
-                self.warp.registers[param.name] = np.full(self.warp_size, value, dtype=dtype)
+                self.warp.registers[param.name] = scalar_arrays[param.name]
         for name, handle in shared.handles().items():
             self.warp.registers[name] = handle
-        identity = warp.identity
-        self._identity_values = {
-            "tid.x": identity.tid_x, "tid.y": identity.tid_y,
-            "bid.x": identity.bid_x, "bid.y": identity.bid_y,
-            "bdim.x": identity.bdim_x, "bdim.y": identity.bdim_y,
-            "gdim.x": identity.gdim_x, "gdim.y": identity.gdim_y,
-            "laneid": identity.lane_id, "warpid": identity.warp_id,
-        }
+        self._identity_values = warp.identity.register_values()
 
     # ------------------------------------------------------------------ operands
     def _trap(self, message: str, instruction: Optional[Instruction] = None) -> None:
@@ -184,8 +195,20 @@ class WarpExecutor:
         record = profiler.record
         max_instructions = self.max_instructions
         stack = warp.stack
+        jit = self._jit
+        profiles = profiler.instructions if profile_enabled else None
         while True:
-            warp.pop_reconverged()
+            # Inlined warp.pop_reconverged() (hot: once per control
+            # transfer); keep in sync with the method.
+            while stack:
+                top = stack[-1]
+                reconvergence = top.reconvergence
+                if reconvergence is not None:
+                    pc = top.pc
+                    if pc[1] == 0 and pc[0] == reconvergence:
+                        stack.pop()
+                        continue
+                break
             if warp.status is WarpStatus.DONE or not stack:
                 warp.status = WarpStatus.DONE
                 return warp.status
@@ -206,6 +229,29 @@ class WarpExecutor:
                 if kind == STEP_SEGMENT:
                     body = step.body
                     mask = top.mask
+                    if jit:
+                        jit_fns = step.jit_fns
+                        if (jit_fns is not None and index == step.start
+                                and warp.instructions_executed + jit_fns[2]
+                                <= max_instructions):
+                            # JIT tier, common case: one call executes the
+                            # whole segment (charging its aggregated
+                            # statics and pricing its memory accesses
+                            # itself) and, in the combined form, the
+                            # block terminator too.  Masks are immutable
+                            # and rebound on every change, so fullness is
+                            # cached on the stack entry by object identity.
+                            if mask is not top.mask_obj:
+                                top.mask_obj = mask
+                                top.mask_full = bool(mask.all())
+                            (jit_fns[0] if top.mask_full else jit_fns[1])(
+                                self, warp, top, mask, counters, profiles)
+                            if jit_fns[3]:
+                                transferred = True
+                                continue
+                            index = step.start + jit_fns[2]
+                            top.pc = (label, index)
+                            continue
                     full = bool(mask.all())
                     if (index == step.start and step.exact
                             and warp.instructions_executed + len(body) <= max_instructions):

@@ -1,0 +1,1011 @@
+"""Segment JIT: exec-compiled straight-line kernels for the decoded interpreter.
+
+The dispatch tier (:mod:`repro.gpu.decoded`) already removes per-step
+opcode dispatch, but a straight-line segment still pays, per executed
+instruction, one handler-closure call, one operand-getter call per
+operand, a register-dictionary round-trip per read and write, and a
+profiler-dictionary probe.  This module removes those too by *compiling*
+each exact straight-line :class:`~repro.gpu.decoded.Segment` into **one**
+Python function per activation shape (fully active warp / partial mask):
+
+* operand getters become local-variable loads -- registers read once per
+  segment are cached in locals ("shadows"), constants are baked in as
+  shared read-only arrays;
+* handler closures are inlined into straight-line NumPy expressions
+  (``add`` becomes ``a + b``; the runtime dtype dispatch of
+  ``div``/``and``/``shl``/... is inlined with the same branches the
+  shared arithmetic table takes);
+* register writes stay in the shadow locals and flush to the register
+  file once at segment end.  The full-mask variant replays the exact
+  dtype promotion of :meth:`~repro.gpu.warp.WarpState.write_register_full`;
+  the masked variant defers the per-write ``np.where`` merge of
+  :meth:`~repro.gpu.warp.WarpState.write_register` to the flush.  The
+  deferral is sound because the mask is constant inside a segment and
+  every inlined operation is element-wise, so unmerged inactive lanes
+  can never leak into active lanes (``shfl``, the one cross-lane reader,
+  explicitly merges its value operand first, and anything executed
+  through a fallback closure sees a fully flushed register file);
+* when the segment is directly followed by its block's
+  ``br``/``condbr``/``ret`` terminator, the control transfer -- including
+  the divergence stack discipline -- is folded into the compiled function
+  (the ROADMAP's "segment mega-closures"), eliminating one interpreter
+  round-trip per executed block;
+* the segment's pre-aggregated static cycles and cost-model counters are
+  charged in one step, and per-instruction profiler bumps run over
+  profile objects bound once per launch instead of probing the profiler
+  dictionary on every execution.
+
+Compilation is content-addressed twice over.  Generated functions take
+every clone-varying value (instruction objects, uids, constants, branch
+targets) through one bound tuple, so a *structural key* of the segment
+-- opcodes, operand shapes, register names, baked costs -- maps to a
+cached ``(factory, plan)`` pair: re-JITting the structurally identical
+variants a GEVO population is full of costs a key probe plus one factory
+call per segment, with no source generation, ``compile`` or ``exec``.
+The compiled segments live on the decoded program, which is cached per
+function through :meth:`repro.ir.function.Function.cached_decoding`; a
+GEVO mutation invalidates exactly the touched function's decoding and
+therefore its compiled segments.
+
+A compiled segment runs only in the case the dispatch tier's batch
+branch recognises -- entry at the segment start, exact aggregated costs,
+instruction budget not straddled -- everything else falls back to the
+dispatch loop, instruction by instruction, so traps, barrier resumes
+and budget exhaustion behave identically.  Equivalence with the dispatch
+tier and the tree-walking oracle -- cycles, counters, profiler
+statistics, output buffers, RNG streams and trap messages -- is pinned
+by the three-way battery in ``tests/gpu/test_fast_path_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.function import Function
+from ..ir.values import Const, Reg
+from .arch import GpuArch
+from .decoded import (
+    _IDENTITY_OPCODES,
+    ControlStep,
+    DecodedFunction,
+    Segment,
+    _const_array,
+    decode_function,
+)
+from .interpreter import (
+    _ARITHMETIC,
+    _int_like,
+    STEP_BR,
+    STEP_CONDBR,
+    STEP_RET,
+    STEP_SEGMENT,
+)
+from .memory import BufferHandle
+from .profiler import InstructionProfile
+from .rng import counter_uniform
+from .timing import MemoryAccessInfo
+from .warp import StackEntry
+
+_INT = np.int64
+_FLOAT = np.float64
+
+#: Process-wide keys for the per-launch bound-profile cache
+#: (:attr:`ProfileCollector.jit_bindings`); every compiled segment gets one.
+_SEGMENT_KEYS = itertools.count()
+
+#: Structural-key cache: segment shape -> (full factory, full plan,
+#: masked factory, masked plan).  See the module docstring.
+_SEGMENT_CACHE: Dict[tuple, tuple] = {}
+_SEGMENT_CACHE_LIMIT = 8192
+
+#: One constant filename keeps compiled sources recognisable in tracebacks.
+_SOURCE_FILENAME = "<repro-jit-segment>"
+
+
+# --------------------------------------------------------------------------- runtime helpers
+def _numeric_fallback(ex, name, instruction, value):
+    """Trap for a register numeric read that is not a plain array."""
+    if value is None:
+        ex._trap(f"read of undefined register %{name}", instruction)
+    if isinstance(value, BufferHandle):
+        ex._trap(
+            f"operand %{name} is a buffer handle "
+            f"where a numeric value is required", instruction)
+    return value  # an ndarray subclass: the reference path returns it as-is
+
+
+def _buffer_fallback(ex, name, instruction, value):
+    """Trap for a register buffer read that is not a buffer handle."""
+    if value is None:
+        ex._trap(f"read of undefined register %{name}", instruction)
+    if not isinstance(value, BufferHandle):
+        ex._trap("memory access base operand is not a buffer", instruction)
+    return value
+
+
+def _buffer_as_numeric(ex, name, instruction):
+    ex._trap(
+        f"operand %{name} is a buffer handle "
+        f"where a numeric value is required", instruction)
+
+
+def _not_a_buffer(ex, instruction):
+    ex._trap("memory access base operand is not a buffer", instruction)
+
+
+def _unsupported_operand(ex, operand, instruction):
+    ex._trap(f"unsupported operand {operand!r}", instruction)
+
+
+def _promote(existing, value):
+    """The dtype promotion :meth:`WarpState.write_register_full` applies."""
+    common = np.result_type(existing.dtype, value.dtype)
+    if value.dtype != common:
+        return value.astype(common)
+    return value
+
+
+def _bind_static_profiles(profiles, items):
+    """Resolve (and create, exactly like ``ProfileCollector.record``) the
+    profile objects for a segment's static-cost instructions, returning
+    ``(profile, cost)`` pairs the compiled segment bumps directly."""
+    bound = []
+    for uid, opcode, location, cost in items:
+        profile = profiles.get(uid)
+        if profile is None:
+            profile = InstructionProfile(uid, opcode, location)
+            profiles[uid] = profile
+        bound.append((profile, cost))
+    return tuple(bound)
+
+
+#: Fixed globals of every compiled segment (per-segment values travel in
+#: the factory's bound tuple instead, which is what makes the factories
+#: shareable across clones).
+_BASE_ENV: Dict[str, object] = {
+    "_nd": np.ndarray,
+    "_BH": BufferHandle,
+    "_MI": MemoryAccessInfo,
+    "_IP": InstructionProfile,
+    "_SE": StackEntry,
+    "_INT": _INT,
+    "_FLOAT": _FLOAT,
+    "_np_minimum": np.minimum,
+    "_np_maximum": np.maximum,
+    "_np_abs": np.abs,
+    "_np_where": np.where,
+    "_np_full": np.full,
+    "_np_zeros": np.zeros,
+    "_np_packbits": np.packbits,
+    "_np_result_type": np.result_type,
+    "_np_cnz": np.count_nonzero,
+    "_np_floor_divide": np.floor_divide,
+    "_np_remainder": np.remainder,
+    "_np_land": np.logical_and,
+    "_np_lor": np.logical_or,
+    "_np_lxor": np.logical_xor,
+    "_np_lnot": np.logical_not,
+    "_np_band": np.bitwise_and,
+    "_np_bor": np.bitwise_or,
+    "_np_bxor": np.bitwise_xor,
+    "_np_bnot": np.bitwise_not,
+    "_np_shl": np.left_shift,
+    "_np_shr": np.right_shift,
+    "_il": _int_like,
+    "_cu": counter_uniform,
+    "_pr": _promote,
+    "_bsp": _bind_static_profiles,
+    "_nf": _numeric_fallback,
+    "_bf": _buffer_fallback,
+    "_ban": _buffer_as_numeric,
+    "_nab": _not_a_buffer,
+    "_uns": _unsupported_operand,
+}
+
+
+# --------------------------------------------------------------------------- plans
+def _static_profile_items(segment: Segment,
+                          terminator: Optional[ControlStep]) -> tuple:
+    items = [
+        (d.uid, d.instruction.opcode,
+         str(d.instruction.loc) if d.instruction.loc is not None else None,
+         d.static_cost)
+        for d in segment.body if d.static_cost is not None]
+    if terminator is not None:
+        instruction = terminator.instruction
+        items.append(
+            (instruction.uid, instruction.opcode,
+             str(instruction.loc) if instruction.loc is not None else None,
+             terminator.static_cost))
+    return tuple(items)
+
+
+def _resolve_plan(plan: tuple, segment: Segment,
+                  terminator: Optional[ControlStep], label: str,
+                  warp_size: int, seg_key: int) -> tuple:
+    """Evaluate a binding plan against a (possibly cloned) segment.
+
+    Each plan item names where one bound value comes from; index ``-1``
+    refers to the folded terminator's instruction.
+    """
+    body = segment.body
+    values = []
+    for item in plan:
+        kind = item[0]
+        if kind == "inst":
+            index = item[1]
+            values.append(terminator.instruction if index < 0
+                          else body[index].instruction)
+        elif kind == "const":
+            _, index, operand_index = item
+            instruction = (terminator.instruction if index < 0
+                           else body[index].instruction)
+            values.append(_const_array(instruction.operands[operand_index].value,
+                                       warp_size))
+        elif kind == "uid":
+            values.append(body[item[1]].uid)
+        elif kind == "execute":
+            values.append(body[item[1]].execute)
+        elif kind == "handler":
+            values.append(_ARITHMETIC[item[1]])
+        elif kind == "operand":
+            _, index, operand_index = item
+            instruction = (terminator.instruction if index < 0
+                           else body[index].instruction)
+            values.append(instruction.operands[operand_index])
+        elif kind == "static_prof":
+            values.append(_static_profile_items(segment, terminator))
+        elif kind == "seg_key":
+            values.append(seg_key)
+        elif kind == "pc_target":
+            values.append((terminator.target, 0))
+        elif kind == "pc_true":
+            values.append((terminator.true_target, 0))
+        elif kind == "pc_false":
+            values.append((terminator.false_target, 0))
+        elif kind == "pc_rc":
+            values.append((terminator.reconvergence, 0))
+        elif kind == "pc_after":
+            values.append((label, segment.start + len(body)))
+        elif kind == "lanes":
+            lanes = np.arange(warp_size)
+            lanes.flags.writeable = False
+            values.append(lanes)
+        else:  # pragma: no cover - plans only contain the kinds above
+            raise AssertionError(f"unknown plan item {item!r}")
+    return tuple(values)
+
+
+def _segment_signature(segment: Segment, terminator: Optional[ControlStep],
+                       warp_size: int) -> tuple:
+    """Structural identity of a segment's generated source.
+
+    Two segments with equal signatures generate character-identical
+    source for both variants, so they share one compiled factory; the
+    signature covers exactly what the source bakes in as literals --
+    opcodes, destination/operand register names, costs, counter keys,
+    source locations, the folded terminator's shape -- while constants,
+    uids and branch targets travel through the bound tuple.
+    """
+    def operand_shape(instruction):
+        return tuple(
+            ("r", op.name) if isinstance(op, Reg)
+            else ("c",) if isinstance(op, Const) else ("o",)
+            for op in instruction.operands)
+
+    body_sig = tuple(
+        (d.instruction.opcode, d.instruction.dest,
+         operand_shape(d.instruction), d.static_cost, d.counter_key,
+         str(d.instruction.loc) if d.instruction.loc is not None else None)
+        for d in segment.body)
+    term_sig = None
+    if terminator is not None:
+        instruction = terminator.instruction
+        term_sig = (terminator.kind, terminator.static_cost,
+                    terminator.counter_key, terminator.reconvergence,
+                    operand_shape(instruction),
+                    str(instruction.loc) if instruction.loc is not None else None)
+    return (warp_size, segment.static_cycles,
+            tuple(sorted(segment.counter_totals)), body_sig, term_sig)
+
+
+# --------------------------------------------------------------------------- the compiler
+class _Shadow:
+    """Compile-time state of one register cached in segment locals."""
+
+    __slots__ = ("var", "kind", "base")
+
+    def __init__(self, var: str, kind: str, base: Optional[str] = None):
+        self.var = var          # local holding the (possibly unmerged) value
+        self.kind = kind        # "array" | "buffer"
+        self.base = base        # masked mode: local holding the pre-segment
+        #                         register value a dirty write merges against
+        #                         at flush time; None when the shadow is clean
+
+
+class _SegmentCompiler:
+    """Generates the source + binding plan of one compiled segment.
+
+    ``full`` selects the activation shape: the fully active warp (plain
+    register rebinding, constant ballot bits) or the partial mask
+    (deferred ``np.where`` merges against the pre-segment register
+    values).
+    """
+
+    def __init__(self, segment: Segment, warp_size: int, full: bool,
+                 terminator: Optional[ControlStep] = None):
+        self.segment = segment
+        self.warp_size = warp_size
+        self.full = full
+        self.terminator = terminator
+        self.lines: List[str] = []
+        self.plan: List[tuple] = []
+        self.shadows: Dict[str, _Shadow] = {}
+        self._counter = itertools.count()
+        self._needs_memory_cost = False
+        self._active_var: Optional[str] = None
+
+    # -- small utilities ---------------------------------------------------
+    def temp(self, prefix: str = "_t") -> str:
+        return f"{prefix}{next(self._counter)}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def bind(self, prefix: str, provenance: tuple) -> str:
+        """Reserve one slot of the factory's bound tuple."""
+        name = f"{prefix}{next(self._counter)}"
+        self.plan.append((name, provenance))
+        return name
+
+    def active_lanes(self) -> str:
+        """Expression for the active lane count (memory pricing)."""
+        if self.full:
+            return str(self.warp_size)
+        if self._active_var is None:
+            self._active_var = "_act"
+            self.emit("_act = int(_np_cnz(mask))")
+        return self._active_var
+
+    # -- operand resolution ------------------------------------------------
+    def numeric(self, operand, inst_var: str, source_index: int,
+                operand_index: int, merged: bool = False) -> str:
+        """Emit code resolving *operand* as a numeric array; return the
+        expression.  ``merged`` asks for the true register value even if
+        the shadow holds a deferred-merge value (cross-lane consumers)."""
+        if isinstance(operand, Const):
+            return self.bind("_C", ("const", source_index, operand_index))
+        if isinstance(operand, Reg):
+            name = operand.name
+            shadow = self.shadows.get(name)
+            if shadow is not None:
+                if shadow.kind == "array":
+                    if merged and not self.full and shadow.base is not None:
+                        out = self.temp("_mv")
+                        self.emit(f"{out} = _np_where(mask, {shadow.var}, "
+                                  f"{shadow.base})")
+                        return out
+                    return shadow.var
+                # A buffer handle where a numeric value is required: trap.
+                out = self.temp()
+                self.emit(f"{out} = _ban(ex, {name!r}, {inst_var})")
+                return out
+            var = self.temp("_s")
+            self.emit(f"{var} = R.get({name!r})")
+            self.emit(f"if {var}.__class__ is not _nd:")
+            self.emit(f"    {var} = _nf(ex, {name!r}, {inst_var}, {var})")
+            self.shadows[name] = _Shadow(var, "array")
+            return var
+        op_var = self.bind("_O", ("operand", source_index, operand_index))
+        out = self.temp()
+        self.emit(f"{out} = _uns(ex, {op_var}, {inst_var})")
+        return out
+
+    def buffer(self, operand, inst_var: str, source_index: int,
+               operand_index: int) -> str:
+        """Emit code resolving *operand* as a buffer handle."""
+        if isinstance(operand, Reg):
+            name = operand.name
+            shadow = self.shadows.get(name)
+            if shadow is not None:
+                if shadow.kind == "buffer":
+                    return shadow.var
+                out = self.temp()
+                self.emit(f"{out} = _nab(ex, {inst_var})")
+                return out
+            var = self.temp("_s")
+            self.emit(f"{var} = R.get({name!r})")
+            self.emit(f"if {var}.__class__ is not _BH:")
+            self.emit(f"    {var} = _bf(ex, {name!r}, {inst_var}, {var})")
+            self.shadows[name] = _Shadow(var, "buffer")
+            return var
+        if isinstance(operand, Const):
+            out = self.temp()
+            self.emit(f"{out} = _nab(ex, {inst_var})")
+            return out
+        op_var = self.bind("_O", ("operand", source_index, operand_index))
+        out = self.temp()
+        self.emit(f"{out} = _uns(ex, {op_var}, {inst_var})")
+        return out
+
+    # -- register writes ---------------------------------------------------
+    def write(self, dest: str, value_var: str) -> None:
+        if self.full:
+            self._write_full(dest, value_var)
+        else:
+            self._write_masked(dest, value_var)
+
+    def _write_full(self, dest: str, value_var: str) -> None:
+        """Shadowed equivalent of ``write_register_full(dest, value)``."""
+        shadow = self.shadows.get(dest)
+        if shadow is not None:
+            if shadow.kind == "array":
+                self.emit(f"if {shadow.var}.dtype != {value_var}.dtype:")
+                self.emit(f"    {value_var} = _pr({shadow.var}, {value_var})")
+            # A buffer-handle shadow is simply rebound (no promotion),
+            # exactly like write_register_full with a handle existing.
+            self.emit(f"{shadow.var} = {value_var}")
+            shadow.kind = "array"
+            shadow.base = "dirty"
+            return
+        existing = self.temp("_e")
+        self.emit(f"{existing} = R.get({dest!r})")
+        self.emit(f"if ({existing} is not None and {existing}.__class__ is not _BH"
+                  f" and {existing}.dtype != {value_var}.dtype):")
+        self.emit(f"    {value_var} = _pr({existing}, {value_var})")
+        var = self.temp("_s")
+        self.emit(f"{var} = {value_var}")
+        self.shadows[dest] = _Shadow(var, "array", base="dirty")
+
+    def _write_masked(self, dest: str, value_var: str) -> None:
+        """Deferred-merge equivalent of ``write_register(dest, value, mask)``:
+        the shadow keeps the unmerged value; the pre-segment register value
+        is captured (and dtype-promoted in lockstep, so the promotion chain
+        matches the per-write merges exactly) for the flush-time merge."""
+        shadow = self.shadows.get(dest)
+        if shadow is not None and shadow.kind == "array":
+            base = shadow.base
+            if base is None:
+                # Clean shadow: the current register value becomes the base.
+                base = self.temp("_b")
+                self.emit(f"{base} = {shadow.var}")
+            self.emit(f"if {shadow.var}.dtype != {value_var}.dtype:")
+            self.emit(f"    _ct = _np_result_type({shadow.var}.dtype, "
+                      f"{value_var}.dtype)")
+            self.emit(f"    {base} = {base}.astype(_ct)")
+            self.emit(f"    if {value_var}.dtype != _ct:")
+            self.emit(f"        {value_var} = {value_var}.astype(_ct)")
+            self.emit(f"{shadow.var} = {value_var}")
+            shadow.base = base
+            return
+        if shadow is not None:  # buffer-handle shadow: base is zeros
+            base = self.temp("_b")
+            self.emit(f"{base} = _np_zeros({self.warp_size}, "
+                      f"dtype={value_var}.dtype)")
+            self.emit(f"{shadow.var} = {value_var}")
+            shadow.kind = "array"
+            shadow.base = base
+            return
+        existing = self.temp("_e")
+        base = self.temp("_b")
+        self.emit(f"{existing} = R.get({dest!r})")
+        self.emit(f"if {existing} is None or {existing}.__class__ is _BH:")
+        self.emit(f"    {base} = _np_zeros({self.warp_size}, "
+                  f"dtype={value_var}.dtype)")
+        self.emit("else:")
+        self.emit(f"    {base} = {existing}")
+        self.emit(f"    if {base}.dtype != {value_var}.dtype:")
+        self.emit(f"        _ct = _np_result_type({base}.dtype, "
+                  f"{value_var}.dtype)")
+        self.emit(f"        {base} = {base}.astype(_ct)")
+        self.emit(f"        if {value_var}.dtype != _ct:")
+        self.emit(f"            {value_var} = {value_var}.astype(_ct)")
+        var = self.temp("_s")
+        self.emit(f"{var} = {value_var}")
+        self.shadows[dest] = _Shadow(var, "array", base=base)
+
+    def flush_dirty(self) -> None:
+        """Write every dirty shadow back to the register file (and, in
+        masked mode, perform its deferred merge); shadows stay usable."""
+        for name, shadow in self.shadows.items():
+            if shadow.kind != "array" or shadow.base is None:
+                continue
+            if self.full:
+                self.emit(f"R[{name!r}] = {shadow.var}")
+            else:
+                merged = self.temp("_m")
+                self.emit(f"{merged} = _np_where(mask, {shadow.var}, "
+                          f"{shadow.base})")
+                self.emit(f"R[{name!r}] = {merged}")
+                self.emit(f"{shadow.var} = {merged}")
+            shadow.base = None
+
+    def drop_shadow(self, name: Optional[str]) -> None:
+        if name is not None:
+            self.shadows.pop(name, None)
+
+    # -- dynamic (memory) pricing ------------------------------------------
+    def memory_cost(self, inst_var: str, info_expr: str, decoded,
+                    source_index: int) -> None:
+        self._needs_memory_cost = True
+        cost = self.temp("_c")
+        self.emit(f"{cost} = _mc({inst_var}, {self.active_lanes()}, {info_expr})")
+        self.emit(f"warp.cycles += {cost}")
+        instruction = decoded.instruction
+        location = (str(instruction.loc) if instruction.loc is not None else None)
+        uid = self.bind("_u", ("uid", source_index))
+        profile = self.temp("_p")
+        self.emit("if profiles is not None:")
+        self.emit(f"    {profile} = profiles.get({uid})")
+        self.emit(f"    if {profile} is None:")
+        self.emit(f"        {profile} = _IP({uid}, {instruction.opcode!r}, "
+                  f"{location!r})")
+        self.emit(f"        profiles[{uid}] = {profile}")
+        self.emit(f"    {profile}.executions += 1")
+        self.emit(f"    {profile}.cycles += {cost}")
+
+    # -- per-instruction bodies --------------------------------------------
+    def closure_fallback(self, decoded, inst_var: str, source_index: int) -> None:
+        """Run the instruction through its decoded handler closure (the
+        uncommon opcodes); shadows are flushed so the closure sees a
+        coherent register file, and its destination shadow is dropped."""
+        self.flush_dirty()
+        execute = self.bind("_EX", ("execute", source_index))
+        full = "True" if self.full else "False"
+        if decoded.static_cost is None:
+            info = self.temp("_mi")
+            self.emit(f"{info} = {execute}(ex, mask, {full})")
+            self.drop_shadow(decoded.instruction.dest)
+            self.memory_cost(inst_var, info, decoded, source_index)
+        else:
+            self.emit(f"{execute}(ex, mask, {full})")
+            self.drop_shadow(decoded.instruction.dest)
+
+    def compile_instruction(self, decoded, source_index: int) -> None:
+        instruction = decoded.instruction
+        opcode = instruction.opcode
+        inst_var = self.bind("_I", ("inst", source_index))
+        ws = self.warp_size
+
+        def numeric(operand_index, merged=False):
+            return self.numeric(instruction.operands[operand_index], inst_var,
+                                source_index, operand_index, merged=merged)
+
+        if opcode in _ARITHMETIC:
+            operands = [numeric(i) for i in range(len(instruction.operands))]
+            value = self.temp("_v")
+            if opcode == "add":
+                self.emit(f"{value} = {operands[0]} + {operands[1]}")
+            elif opcode == "sub":
+                self.emit(f"{value} = {operands[0]} - {operands[1]}")
+            elif opcode == "mul":
+                self.emit(f"{value} = {operands[0]} * {operands[1]}")
+            elif opcode == "cmp.eq":
+                self.emit(f"{value} = {operands[0]} == {operands[1]}")
+            elif opcode == "cmp.ne":
+                self.emit(f"{value} = {operands[0]} != {operands[1]}")
+            elif opcode == "cmp.lt":
+                self.emit(f"{value} = {operands[0]} < {operands[1]}")
+            elif opcode == "cmp.le":
+                self.emit(f"{value} = {operands[0]} <= {operands[1]}")
+            elif opcode == "cmp.gt":
+                self.emit(f"{value} = {operands[0]} > {operands[1]}")
+            elif opcode == "cmp.ge":
+                self.emit(f"{value} = {operands[0]} >= {operands[1]}")
+            elif opcode == "min":
+                self.emit(f"{value} = _np_minimum({operands[0]}, {operands[1]})")
+            elif opcode == "max":
+                self.emit(f"{value} = _np_maximum({operands[0]}, {operands[1]})")
+            elif opcode == "neg":
+                self.emit(f"{value} = -{operands[0]}")
+            elif opcode == "abs":
+                self.emit(f"{value} = _np_abs({operands[0]})")
+            elif opcode == "mov":
+                self.emit(f"{value} = {operands[0]}.copy()")
+            elif opcode == "ftoi":
+                self.emit(f"{value} = {operands[0]}.astype(_INT)")
+            elif opcode == "itof":
+                self.emit(f"{value} = {operands[0]}.astype(_FLOAT)")
+            elif opcode == "select":
+                self.emit(f"{value} = _np_where({operands[0]}.astype(bool), "
+                          f"{operands[1]}, {operands[2]})")
+            elif opcode == "fma":
+                self.emit(f"{value} = {operands[0]} * {operands[1]} + {operands[2]}")
+            elif opcode in ("div", "rem"):
+                self._emit_division(opcode, operands, value, inst_var)
+            elif opcode in ("and", "or", "xor"):
+                logical, bitwise = {
+                    "and": ("_np_land", "_np_band"),
+                    "or": ("_np_lor", "_np_bor"),
+                    "xor": ("_np_lxor", "_np_bxor"),
+                }[opcode]
+                a, b = operands
+                self.emit(f"if {a}.dtype == bool and {b}.dtype == bool:")
+                self.emit(f"    {value} = {logical}({a}, {b})")
+                self.emit("else:")
+                self.emit(f"    {value} = {bitwise}(_il({a}), _il({b}))")
+            elif opcode == "not":
+                a, = operands
+                self.emit(f"if {a}.dtype == bool:")
+                self.emit(f"    {value} = _np_lnot({a})")
+                self.emit("else:")
+                self.emit(f"    {value} = _np_bnot(_il({a}))")
+            elif opcode == "shl":
+                self.emit(f"{value} = _np_shl(_il({operands[0]}), "
+                          f"_il({operands[1]}))")
+            elif opcode == "shr":
+                self.emit(f"{value} = _np_shr(_il({operands[0]}), "
+                          f"_il({operands[1]}))")
+            else:
+                # A future arithmetic opcode this compiler does not know
+                # yet: call the shared handler so tiers cannot drift.
+                handler = self.bind("_H", ("handler", opcode))
+                args = ", ".join(operands) + ("," if len(operands) == 1 else "")
+                self.emit(f"{value} = {handler}(ex, {inst_var}, ({args}))")
+            self.write(instruction.dest, value)
+            return
+
+        if opcode in _IDENTITY_OPCODES:
+            value = self.temp("_v")
+            if self.full:
+                self.emit(f"{value} = _idn[{opcode!r}].copy()")
+            else:
+                # The masked write merges into a fresh array, so the
+                # defensive copy the direct-store path needs is dropped.
+                self.emit(f"{value} = _idn[{opcode!r}]")
+            self.write(instruction.dest, value)
+            return
+
+        if opcode == "load":
+            handle = self.buffer(instruction.operands[0], inst_var,
+                                 source_index, 0)
+            index = numeric(1)
+            active = self.temp("_ai")
+            value = self.temp("_v")
+            if self.full:
+                self.emit(f"{active} = {handle}.check_bounds({index}, {inst_var})")
+                self.emit(f"{value} = {handle}.array[{active}]")
+            else:
+                self.emit(f"{active} = {handle}.check_bounds({index}[mask], "
+                          f"{inst_var})")
+                self.emit(f"{value} = _np_zeros({ws}, dtype={handle}.array.dtype)")
+                self.emit(f"{value}[mask] = {handle}.array[{active}]")
+            self.write(instruction.dest, value)
+            self.memory_cost(inst_var, f"_MI({handle}, {active})", decoded,
+                             source_index)
+            return
+
+        if opcode in ("store", "memset"):
+            handle = self.buffer(instruction.operands[0], inst_var,
+                                 source_index, 0)
+            index = numeric(1)
+            value = numeric(2)
+            active = self.temp("_ai")
+            if self.full:
+                self.emit(f"{active} = {handle}.check_bounds({index}, {inst_var})")
+                self.emit(f"{handle}.array[{active}] = "
+                          f"{value}.astype({handle}.array.dtype)")
+            else:
+                self.emit(f"{active} = {handle}.check_bounds({index}[mask], "
+                          f"{inst_var})")
+                self.emit(f"{handle}.array[{active}] = "
+                          f"{value}[mask].astype({handle}.array.dtype)")
+            self.memory_cost(inst_var, f"_MI({handle}, {active})", decoded,
+                             source_index)
+            return
+
+        if opcode == "activemask":
+            value = self.temp("_v")
+            if ws != 32:
+                self.emit(f"{value} = _np_full({ws}, 0, dtype=_INT)")
+            elif self.full:
+                # All 32 lanes active: the ballot bits are a constant.
+                self.emit(f"{value} = _np_full({ws}, 4294967295, dtype=_INT)")
+            else:
+                self.emit(f"{value} = _np_full({ws}, int(_np_packbits("
+                          f"mask[::-1]).view(\">u4\")[0]), dtype=_INT)")
+            self.write(instruction.dest, value)
+            return
+
+        if opcode == "ballot.sync":
+            predicate = numeric(1)
+            value = self.temp("_v")
+            if ws == 32:
+                voters = self.temp("_vt")
+                self.emit(f"{voters} = mask & {predicate}.astype(bool)")
+                self.emit(f"{value} = _np_full({ws}, int(_np_packbits("
+                          f"{voters}[::-1]).view(\">u4\")[0]), dtype=_INT)")
+            else:
+                self.emit(f"{value} = _np_full({ws}, 0, dtype=_INT)")
+            self.write(instruction.dest, value)
+            return
+
+        if opcode in ("shfl.sync", "shfl.up.sync", "shfl.down.sync"):
+            # Both operands must see the merged register values: the value
+            # is gathered across lanes, and the lane/delta operand shapes
+            # the gather's indices at *every* position -- an unmerged
+            # inactive-lane delta could index out of range where the
+            # dispatch tier's merged register stays in bounds.
+            value = numeric(1, merged=True)
+            lane = numeric(2, merged=True)
+            lanes = self.temp("_ln")
+            if opcode == "shfl.sync":
+                # minimum(maximum(x, 0), ws-1) == clip(x, 0, ws-1) on the
+                # int64 lane indices, without np.clip's getlimits overhead.
+                self.emit(f"{lanes} = _np_minimum(_np_maximum("
+                          f"{lane}.astype(_INT), 0), {ws - 1})")
+            elif opcode == "shfl.up.sync":
+                self.emit(f"{lanes} = {self.lanes_var()} - {lane}.astype(_INT)")
+                self.emit(f"{lanes} = _np_where({lanes} < 0, "
+                          f"{self.lanes_var()}, {lanes})")
+            else:
+                self.emit(f"{lanes} = {self.lanes_var()} + {lane}.astype(_INT)")
+                self.emit(f"{lanes} = _np_where({lanes} >= {ws}, "
+                          f"{self.lanes_var()}, {lanes})")
+            result = self.temp("_v")
+            self.emit(f"{result} = {value}[{lanes}]")
+            self.write(instruction.dest, result)
+            return
+
+        if opcode == "syncwarp":
+            # Resolving the mask operand is the only observable effect
+            # (it traps on undefined/buffer operands).
+            numeric(0)
+            return
+
+        if opcode == "rand.uniform":
+            seed = numeric(0)
+            step = numeric(1)
+            salt = numeric(2)
+            value = self.temp("_v")
+            self.emit(f"{value} = _cu({seed}.astype(_INT), {step}.astype(_INT), "
+                      f"{salt}.astype(_INT))")
+            self.write(instruction.dest, value)
+            return
+
+        if opcode == "nop":
+            return
+
+        # Atomics and anything else (including unimplemented opcodes,
+        # which trap with the interpreter's exact message).
+        self.closure_fallback(decoded, inst_var, source_index)
+
+    def lanes_var(self) -> str:
+        if "_lanes" not in (name for name, _ in self.plan):
+            self.plan.append(("_lanes", ("lanes",)))
+        return "_lanes"
+
+    def _emit_division(self, opcode: str, operands: List[str], value: str,
+                       inst_var: str) -> None:
+        """Inline the ``div``/``rem`` handler: active-lane zero trap, then
+        the runtime dtype dispatch (operands of the segment's executor are
+        always plain arrays, so the handler's ``np.asarray`` is a no-op;
+        its ``active_mask`` is exactly this segment's ``mask``)."""
+        numerator, denominator = operands
+        active = self.temp("_da")
+        if self.full:
+            self.emit(f"if ({denominator} == 0).any():")
+        else:
+            self.emit(f"{active} = {denominator}[mask]")
+            self.emit(f"if {active}.size and ({active} == 0).any():")
+        self.emit(f"    ex._trap(\"division by zero\", {inst_var})")
+        safe = self.temp("_sf")
+        self.emit(f"{safe} = _np_where({denominator} == 0, 1, {denominator})")
+        if opcode == "div":
+            self.emit(f"if {numerator}.dtype.kind == \"f\" "
+                      f"or {denominator}.dtype.kind == \"f\":")
+            self.emit(f"    {value} = {numerator} / {safe}")
+            self.emit("else:")
+            self.emit(f"    {value} = _np_floor_divide({numerator}, {safe})")
+        else:
+            self.emit(f"{value} = _np_remainder(_il({numerator}), _il({safe}))")
+
+    # -- the folded terminator ----------------------------------------------
+    def compile_terminator(self) -> None:
+        """Emit the block terminator inline (after the register flush):
+        the same transfer/divergence discipline as the dispatch loop's
+        control-step branch, minus one loop round-trip per block."""
+        step = self.terminator
+        kind = step.kind
+        if kind == STEP_BR:
+            target = self.bind("_pc", ("pc_target",))
+            self.emit(f"top.pc = {target}")
+            return
+        if kind == STEP_RET:
+            after = self.bind("_pc", ("pc_after",))
+            self.emit(f"top.pc = {after}")
+            self.emit("warp.retire_lanes(mask.copy())")
+            return
+        # condbr
+        inst_var = self.bind("_I", ("inst", -1))
+        cond_expr = self.numeric(step.instruction.operands[0], inst_var, -1, 0)
+        cond = self.temp("_cond")
+        self.emit(f"{cond} = {cond_expr}.astype(bool)")
+        pc_true = self.bind("_pc", ("pc_true",))
+        pc_false = self.bind("_pc", ("pc_false",))
+        taken = self.temp("_tk")
+        not_taken = self.temp("_nt")
+        if self.full:
+            # mask is all-true: taken == cond, not_taken == ~cond, and the
+            # two uniform outcomes resolve from cond alone.
+            self.emit(f"if {cond}.all():")
+            self.emit(f"    top.pc = {pc_true}")
+            self.emit(f"elif not {cond}.any():")
+            self.emit(f"    top.pc = {pc_false}")
+            self.emit("else:")
+            self.emit(f"    {taken} = {cond}")
+            self.emit(f"    {not_taken} = ~{cond}")
+            self._emit_divergence(pc_true, pc_false, taken, not_taken,
+                                  step.reconvergence, indent="    ")
+        else:
+            self.emit(f"{taken} = mask & {cond}")
+            self.emit(f"{not_taken} = mask & ~{cond}")
+            self.emit(f"if not {not_taken}.any():")
+            self.emit(f"    top.pc = {pc_true}")
+            self.emit(f"elif not {taken}.any():")
+            self.emit(f"    top.pc = {pc_false}")
+            self.emit("else:")
+            self._emit_divergence(pc_true, pc_false, taken, not_taken,
+                                  step.reconvergence, indent="    ")
+
+    def _emit_divergence(self, pc_true: str, pc_false: str, taken: str,
+                         not_taken: str, reconvergence: Optional[str],
+                         indent: str) -> None:
+        if reconvergence is None:
+            # No common post-dominator: run each side to completion under
+            # its own mask.
+            self.emit(f"{indent}top.pc = {pc_false}")
+            self.emit(f"{indent}top.mask = {not_taken}")
+            self.emit(f"{indent}warp.stack.append(_SE({pc_true}, {taken}, None))")
+            return
+        pc_rc = self.bind("_pc", ("pc_rc",))
+        self.emit(f"{indent}top.pc = {pc_rc}")
+        self.emit(f"{indent}_stk = warp.stack")
+        self.emit(f"{indent}_stk.append(_SE({pc_false}, {not_taken}, "
+                  f"{reconvergence!r}))")
+        self.emit(f"{indent}_stk.append(_SE({pc_true}, {taken}, "
+                  f"{reconvergence!r}))")
+
+    # -- whole segment ------------------------------------------------------
+    def generate(self) -> Tuple[str, tuple]:
+        """Produce the factory source and its binding plan."""
+        segment = self.segment
+        body = segment.body
+        terminator = self.terminator
+        static_cycles = segment.static_cycles
+        counter_totals = dict(segment.counter_totals)
+        count = len(body)
+        has_static_prof = any(d.static_cost is not None for d in body)
+        if terminator is not None:
+            # Fold the terminator's launch-invariant charges into the
+            # aggregates (integer cycle costs, so the reordering is exact).
+            count += 1
+            has_static_prof = True
+            static_cycles += terminator.static_cost
+            if terminator.counter_key is not None:
+                counter_totals[terminator.counter_key] = (
+                    counter_totals.get(terminator.counter_key, 0.0)
+                    + terminator.static_cost)
+
+        prelude = ["R = warp.registers",
+                   f"warp.instructions_executed += {count}"]
+        if static_cycles:
+            prelude.append(f"warp.cycles += {static_cycles!r}")
+        for key, total in sorted(counter_totals.items()):
+            prelude.append(f"counters[{key!r}] = "
+                           f"counters.get({key!r}, 0.0) + {total!r}")
+        if has_static_prof:
+            self.plan.append(("_static_prof", ("static_prof",)))
+            self.plan.append(("_sk", ("seg_key",)))
+            prelude += [
+                "if profiles is not None:",
+                "    _pl = ex._jit_profiles.get(_sk)",
+                "    if _pl is None:",
+                "        _pl = _bsp(profiles, _static_prof)",
+                "        ex._jit_profiles[_sk] = _pl",
+                "    for _pp, _pc in _pl:",
+                "        _pp.executions += 1",
+                "        _pp.cycles += _pc",
+            ]
+
+        for source_index, decoded in enumerate(body):
+            self.compile_instruction(decoded, source_index)
+        self.flush_dirty()
+        if terminator is not None:
+            self.compile_terminator()
+
+        if any(inst.opcode in _IDENTITY_OPCODES
+               for inst in (d.instruction for d in body)):
+            prelude.insert(1, "_idn = ex._identity_values")
+        if self._needs_memory_cost:
+            prelude.insert(1, "_mc = ex.cost_model._memory_cost")
+
+        names = [name for name, _ in self.plan]
+        unpack = []
+        if names:
+            unpack = ["(" + ", ".join(names) + ("," if len(names) == 1 else "")
+                      + ") = _bound"]
+        source = "\n".join(
+            ["def _factory(_bound):"]
+            + ["    " + line for line in unpack]
+            + ["    def _segment_kernel(ex, warp, top, mask, counters, "
+               "profiles):"]
+            + ["        " + line for line in prelude + self.lines]
+            + ["        return None",
+               "    return _segment_kernel"])
+        return source, tuple(item for _, item in self.plan)
+
+
+def _build_factory(source: str):
+    namespace = dict(_BASE_ENV)
+    code = compile(source, _SOURCE_FILENAME, "exec")
+    exec(code, namespace)  # noqa: S102 - the source is generated above
+    return namespace["_factory"]
+
+
+def compile_segment(segment: Segment, warp_size: int, label: str,
+                    terminator: Optional[ControlStep] = None) -> Tuple:
+    """Compile one exact segment into its JIT record:
+    ``(full-mask kernel, masked kernel, instruction count, combined)``,
+    where *combined* records whether the block terminator was folded in
+    (the interpreter then treats the call as the control transfer)."""
+    signature = _segment_signature(segment, terminator, warp_size)
+    cached = _SEGMENT_CACHE.get(signature)
+    if cached is None:
+        if len(_SEGMENT_CACHE) >= _SEGMENT_CACHE_LIMIT:
+            _SEGMENT_CACHE.clear()
+        full_source, full_plan = _SegmentCompiler(
+            segment, warp_size, True, terminator).generate()
+        masked_source, masked_plan = _SegmentCompiler(
+            segment, warp_size, False, terminator).generate()
+        cached = (_build_factory(full_source), full_plan,
+                  _build_factory(masked_source), masked_plan)
+        _SEGMENT_CACHE[signature] = cached
+    full_factory, full_plan, masked_factory, masked_plan = cached
+    seg_key = next(_SEGMENT_KEYS)
+    return (
+        full_factory(_resolve_plan(full_plan, segment, terminator, label,
+                                   warp_size, seg_key)),
+        masked_factory(_resolve_plan(masked_plan, segment, terminator, label,
+                                     warp_size, seg_key)),
+        len(segment.body) + (1 if terminator is not None else 0),
+        terminator is not None,
+    )
+
+
+def attach_jit(decoded: DecodedFunction) -> None:
+    """Compile every exact segment of *decoded* in place (idempotent).
+
+    A segment directly followed by its block's ``br``/``condbr``/``ret``
+    terminator is compiled together with it (the mega-closure form);
+    barriers and mid-block entries keep going through the dispatch loop.
+    """
+    for label, block in decoded.blocks.items():
+        steps = block.steps
+        for position, step in enumerate(steps):
+            if (step.kind != STEP_SEGMENT or not step.exact
+                    or step.jit_fns is not None):
+                continue
+            terminator = None
+            following = steps[position + 1] if position + 1 < len(steps) else None
+            if (following is not None
+                    and following.kind in (STEP_BR, STEP_CONDBR, STEP_RET)
+                    and float(following.static_cost).is_integer()):
+                terminator = following
+            step.jit_fns = compile_segment(step, decoded.warp_size, label,
+                                           terminator)
+    decoded.jit_ready = True
+
+
+def jit_function(function: Function, arch: GpuArch) -> DecodedFunction:
+    """Decode *function* and compile its segments, memoised with the same
+    fingerprint scheme as :func:`~repro.gpu.decoded.decode_function` --
+    a GEVO mutation invalidates exactly the touched function's decoding,
+    and the compiled segments die with it."""
+    decoded = decode_function(function, arch)
+    if not decoded.jit_ready:
+        attach_jit(decoded)
+    return decoded

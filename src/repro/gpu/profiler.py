@@ -37,6 +37,11 @@ class ProfileCollector:
 
     enabled: bool = True
     instructions: Dict[int, InstructionProfile] = field(default_factory=dict)
+    #: JIT-tier cache of per-segment ``(InstructionProfile, cost)`` bindings
+    #: (see :mod:`repro.gpu.jitted`), shared by every warp of the launch so
+    #: compiled segments bump profile objects directly.
+    jit_bindings: Dict[int, tuple] = field(default_factory=dict, repr=False,
+                                           compare=False)
 
     def record(self, instruction: Instruction, cycles: float) -> None:
         # The decoded fast path (WarpExecutor._run_decoded) inlines this

@@ -42,6 +42,11 @@ class StackEntry:
     pc: ProgramCounter
     mask: np.ndarray
     reconvergence: Optional[str]
+    #: JIT-tier cache of ``bool(mask.all())``: masks are immutable and
+    #: rebound on every change, so fullness is memoised by object identity
+    #: (``mask_obj is mask``) instead of re-reducing per segment execution.
+    mask_obj: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    mask_full: bool = field(default=False, repr=False, compare=False)
 
     def active_lane_count(self) -> int:
         return int(np.count_nonzero(self.mask))
@@ -49,7 +54,12 @@ class StackEntry:
 
 @dataclass
 class ThreadIdentity:
-    """Per-lane thread/block coordinates for one warp."""
+    """Per-lane thread/block coordinates for one warp.
+
+    Identities are immutable (consumers copy before mutating), so one
+    instance can be shared by every launch with the same geometry -- see
+    :meth:`GpuDevice._thread_identity`.
+    """
 
     tid_x: np.ndarray
     tid_y: np.ndarray
@@ -62,6 +72,42 @@ class ThreadIdentity:
     lane_id: np.ndarray
     warp_id: np.ndarray
     valid: np.ndarray
+    #: Lazily built opcode -> per-lane array map served to the interpreters
+    #: (``tid.x`` reads etc.); built once per identity instead of once per
+    #: warp executor.
+    _register_values: Optional[Dict[str, np.ndarray]] = field(
+        default=None, repr=False, compare=False)
+
+    def register_values(self) -> Dict[str, np.ndarray]:
+        values = self._register_values
+        if values is None:
+            values = {
+                "tid.x": self.tid_x, "tid.y": self.tid_y,
+                "bid.x": self.bid_x, "bid.y": self.bid_y,
+                "bdim.x": self.bdim_x, "bdim.y": self.bdim_y,
+                "gdim.x": self.gdim_x, "gdim.y": self.gdim_y,
+                "laneid": self.lane_id, "warpid": self.warp_id,
+            }
+            self._register_values = values
+        return values
+
+
+def broadcast_scalar_arrays(scalar_bindings: Dict[str, float],
+                            warp_size: int) -> Dict[str, np.ndarray]:
+    """Read-only per-lane broadcast arrays for scalar kernel parameters.
+
+    The single home of the scalar dtype rule (integral values become
+    int64 lanes, everything else float64); the device caches the result
+    per distinct scalar tuple and shares it across warps and launches --
+    safe because register writes rebind, never mutate in place.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in scalar_bindings.items():
+        dtype = np.int64 if float(value) == int(value) else np.float64
+        array = np.full(warp_size, value, dtype=dtype)
+        array.flags.writeable = False
+        arrays[name] = array
+    return arrays
 
 
 def build_thread_identity(

@@ -101,10 +101,43 @@ _worker_adapter: Optional[WorkloadAdapter] = None
 _worker_original = None
 
 
+def _prewarm_worker_caches(adapter, module) -> None:
+    """Pre-decode (and JIT-compile) *module* for the adapter's interpreter tier.
+
+    The per-function decode cache is a ``WeakKeyDictionary`` of unpicklable
+    artifacts, so it never travels to pool workers: without this, every
+    worker re-decodes the original module (and re-fills the process-wide
+    JIT factory cache) on its first evaluation.  Decoding once in the
+    initializer makes the baseline/unmodified-module evaluations hit a
+    warm cache and seeds the structural JIT cache every variant of the
+    batch shares.  Purely an optimization: any failure is ignored and the
+    first evaluation decodes on demand instead.
+    """
+    arch = getattr(adapter, "arch", None)
+    functions = getattr(module, "functions", None)
+    if arch is None or not functions:
+        return
+    try:
+        from ..gpu.arch import normalize_interpreter_tier
+
+        tier = normalize_interpreter_tier(getattr(arch, "fast_path", True))
+        if tier == "oracle":
+            return
+        if tier == "jit":
+            from ..gpu.jitted import jit_function as warm
+        else:
+            from ..gpu.decoded import decode_function as warm
+        for function in functions.values():
+            warm(function, arch)
+    except Exception:  # noqa: BLE001 - best-effort warm-up only
+        pass
+
+
 def _init_worker(adapter_payload: bytes) -> None:
     global _worker_adapter, _worker_original
     _worker_adapter = pickle.loads(adapter_payload)
     _worker_original = _worker_adapter.original_module()
+    _prewarm_worker_caches(_worker_adapter, _worker_original)
 
 
 def _worker_evaluate(edit_dicts: List[Dict[str, object]]) -> FitnessResult:

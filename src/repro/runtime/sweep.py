@@ -75,15 +75,21 @@ def resolve_workload(name: str) -> str:
     return canonical
 
 
-def make_adapter(workload: str, arch_name: str, reference_interpreter: bool = False):
+def make_adapter(workload: str, arch_name: str, reference_interpreter: bool = False,
+                 interpreter_tier: Optional[str] = None):
     """Build the workload adapter for one (workload, arch) cell.
 
     The single factory the CLI and the sweep orchestrator share, so a
     sweep leg evaluates exactly what ``repro search`` would.  Workload
-    modules import lazily to keep startup cheap.
+    modules import lazily to keep startup cheap.  ``interpreter_tier``
+    pins one of the simulator's bit-for-bit-equivalent tiers
+    (``oracle``/``dispatch``/``jit``); ``reference_interpreter`` is the
+    older boolean spelling of the oracle tier.
     """
     arch = get_arch(arch_name)
-    if reference_interpreter:
+    if interpreter_tier is not None:
+        arch = arch.with_overrides(fast_path=interpreter_tier)
+    elif reference_interpreter:
         arch = arch.with_overrides(fast_path=False)
     workload = resolve_workload(workload)
     if workload == "toy":
@@ -268,6 +274,7 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
               cache_shards: Optional[int] = None,
               checkpoint_every: Optional[int] = None,
               reference_interpreter: bool = False,
+              interpreter_tier: Optional[str] = None,
               progress: Optional[Callable[[SweepLeg, LegOutcome], None]] = None,
               ) -> SweepReport:
     """Run (or resume) every leg of *spec* under *sweep_dir*.
@@ -338,7 +345,8 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
                                checkpoint_path=checkpoint_path,
                                checkpoint_every=checkpoint_every,
                                resume_from=resume_from,
-                               reference_interpreter=reference_interpreter)
+                               reference_interpreter=reference_interpreter,
+                               interpreter_tier=interpreter_tier)
             # The record carries the budget it was produced under so a
             # later --resume with a different budget is rejected loudly.
             record = dict(outcome.to_dict(), population=spec.population,
@@ -358,12 +366,14 @@ def _run_leg(spec: SweepSpec, leg: SweepLeg, cache: FitnessCache, *,
              jobs: int, executor_kind: Optional[str],
              checkpoint_path: str, checkpoint_every: Optional[int],
              resume_from: Optional[str],
-             reference_interpreter: bool) -> LegOutcome:
+             reference_interpreter: bool,
+             interpreter_tier: Optional[str] = None) -> LegOutcome:
     """Execute one leg through the engine seam and summarise it."""
     from ..baselines import HillClimber, RandomSearch
     from ..gevo import GevoSearch
 
-    adapter = make_adapter(leg.workload, leg.arch, reference_interpreter)
+    adapter = make_adapter(leg.workload, leg.arch, reference_interpreter,
+                           interpreter_tier=interpreter_tier)
     config = spec.leg_config(leg)
     engine = EvaluationEngine(adapter,
                               executor=make_executor(jobs, executor_kind),

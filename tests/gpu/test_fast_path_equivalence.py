@@ -1,13 +1,15 @@
-"""Differential battery: decoded fast path vs. the reference interpreter.
+"""Differential battery: all three interpreter tiers against each other.
 
-The decode-once dispatch-table path (:mod:`repro.gpu.decoded`) must be
+The decode-once dispatch tables (:mod:`repro.gpu.decoded`) and the
+exec-compiled segment JIT (:mod:`repro.gpu.jitted`) must both be
 **bit-for-bit** equivalent to the tree-walking reference interpreter:
 identical cycle counts, cost-model counters, per-uid profiler statistics,
 output buffers, seeded RNG streams and trap messages.  Everything cached
 in a persisted :class:`FitnessResult` depends on this, so the battery
-runs both paths against each other on every workload (toy, ADEPT-V0/V1,
-SIMCoV), on every architecture, and on seeded random edit sets that
-exercise divergence, partial warps, traps and degenerate control flow.
+runs the three tiers against each other on every workload (toy,
+ADEPT-V0/V1, SIMCoV), on every architecture, and on seeded random edit
+sets that exercise divergence, partial warps, traps and degenerate
+control flow.
 """
 
 from __future__ import annotations
@@ -23,8 +25,11 @@ from hypothesis import strategies as st
 from repro.errors import KernelTrap, LaunchError
 from repro.gevo import apply_edits
 from repro.gevo.mutation import EditGenerator
-from repro.gpu import EVALUATION_ORDER, GpuDevice, get_arch
+from repro.gpu import EVALUATION_ORDER, INTERPRETER_TIERS, GpuDevice, get_arch
 from repro.workloads.toy import ToyWorkloadAdapter, build_toy_kernel, toy_discovered_edits
+
+#: Oracle first: the comparisons below treat position 0 as the reference.
+TIERS = tuple(INTERPRETER_TIERS)
 
 
 def profile_stats(profile):
@@ -32,43 +37,58 @@ def profile_stats(profile):
             for uid, p in profile.instructions.items()}
 
 
-def launch_both(module, grid, block, args, arch, *, kernel_name=None, **device_kwargs):
-    """Launch on both paths (fresh buffer copies) and return the outcomes."""
-    outcomes = []
-    for fast in (True, False):
-        device = GpuDevice(arch, fast_path=fast, **device_kwargs)
+def launch_tiers(module, grid, block, args, arch, *, kernel_name=None,
+                 tiers=TIERS, **device_kwargs):
+    """Launch on every tier (fresh buffer copies) and return the outcomes."""
+    outcomes = {}
+    for tier in tiers:
+        device = GpuDevice(arch, fast_path=tier, **device_kwargs)
         copies = {name: (value.copy() if isinstance(value, np.ndarray) else value)
                   for name, value in args.items()}
         try:
             result = device.launch(module, grid, block, copies, kernel_name=kernel_name)
         except (KernelTrap, LaunchError) as error:
-            outcomes.append(("error", type(error).__name__, str(error)))
+            outcomes[tier] = ("error", type(error).__name__, str(error))
         else:
-            outcomes.append(("ok", result, copies))
+            outcomes[tier] = ("ok", result, copies)
     return outcomes
+
+
+def launch_both(module, grid, block, args, arch, *, kernel_name=None, **device_kwargs):
+    """Backwards-compatible pair view: (jit outcome, oracle outcome)."""
+    outcomes = launch_tiers(module, grid, block, args, arch,
+                            kernel_name=kernel_name, **device_kwargs)
+    return outcomes["jit"], outcomes["oracle"]
 
 
 def assert_equivalent_launch(module, grid, block, args, arch, *,
                              kernel_name=None, **device_kwargs):
-    fast, reference = launch_both(module, grid, block, args, arch,
-                                  kernel_name=kernel_name, **device_kwargs)
-    assert fast[0] == reference[0], (fast, reference)
-    if fast[0] == "error":
-        assert fast[1:] == reference[1:]
+    outcomes = launch_tiers(module, grid, block, args, arch,
+                            kernel_name=kernel_name, **device_kwargs)
+    reference = outcomes["oracle"]
+    for tier in TIERS[1:]:
+        candidate = outcomes[tier]
+        assert candidate[0] == reference[0], (tier, candidate, reference)
+        if reference[0] == "error":
+            assert candidate[1:] == reference[1:], tier
+            continue
+        _, tier_result, tier_buffers = candidate
+        _, ref_result, ref_buffers = reference
+        assert tier_result.cycles == ref_result.cycles, tier
+        assert tier_result.time_ms == ref_result.time_ms, tier
+        assert tier_result.instructions_executed == ref_result.instructions_executed, tier
+        assert tier_result.warps_executed == ref_result.warps_executed, tier
+        assert tier_result.counters == ref_result.counters, tier
+        assert profile_stats(tier_result.profile) == profile_stats(ref_result.profile), tier
+    if reference[0] == "error":
         return None
-    _, fast_result, fast_buffers = fast
-    _, ref_result, ref_buffers = reference
-    assert fast_result.cycles == ref_result.cycles
-    assert fast_result.time_ms == ref_result.time_ms
-    assert fast_result.instructions_executed == ref_result.instructions_executed
-    assert fast_result.warps_executed == ref_result.warps_executed
-    assert fast_result.counters == ref_result.counters
-    assert profile_stats(fast_result.profile) == profile_stats(ref_result.profile)
-    for name in fast_buffers:
-        if isinstance(fast_buffers[name], np.ndarray):
-            np.testing.assert_array_equal(fast_buffers[name], ref_buffers[name],
-                                          err_msg=f"buffer {name!r} differs")
-    return fast_result
+    for name in reference[2]:
+        if isinstance(reference[2][name], np.ndarray):
+            for tier in TIERS[1:]:
+                np.testing.assert_array_equal(
+                    outcomes[tier][2][name], reference[2][name],
+                    err_msg=f"buffer {name!r} differs on tier {tier!r}")
+    return outcomes["jit"][1]
 
 
 def case_tuples(result):
@@ -77,17 +97,26 @@ def case_tuples(result):
 
 
 def assert_equivalent_fitness(make_adapter, module=None):
-    """Evaluate *module* (default: the original) on fast and reference adapters."""
-    fast_adapter = make_adapter(True)
-    ref_adapter = make_adapter(False)
-    target = module if module is not None else fast_adapter.original_module()
-    fast = fast_adapter.evaluate(target)
-    reference = ref_adapter.evaluate(target)
-    assert fast.valid == reference.valid
-    assert fast.runtime_ms == reference.runtime_ms or (
-        math.isinf(fast.runtime_ms) and math.isinf(reference.runtime_ms))
-    assert case_tuples(fast) == case_tuples(reference)
-    return fast
+    """Evaluate *module* (default: the original) on one adapter per tier.
+
+    ``make_adapter`` takes the historical fast-path selector: ``False``
+    builds the oracle adapter and a tier name pins that tier, so existing
+    workload factories keep working unchanged.
+    """
+    adapters = {tier: make_adapter(tier if tier != "oracle" else False)
+                for tier in TIERS}
+    target = module if module is not None else adapters["jit"].original_module()
+    results = {tier: adapter.evaluate(target)
+               for tier, adapter in adapters.items()}
+    reference = results["oracle"]
+    for tier in TIERS[1:]:
+        result = results[tier]
+        assert result.valid == reference.valid, tier
+        assert result.runtime_ms == reference.runtime_ms or (
+            math.isinf(result.runtime_ms)
+            and math.isinf(reference.runtime_ms)), tier
+        assert case_tuples(result) == case_tuples(reference), tier
+    return results["jit"]
 
 
 # --------------------------------------------------------------------------- workloads
@@ -235,11 +264,12 @@ def test_instruction_budget_trap_equivalent():
     b.ret()
     module = build_module("spin_m", b.build())
     out = np.zeros(32)
-    fast, reference = launch_both(module, 1, 32, {"out": out}, get_arch("P100"),
-                                  kernel_name="spin",
-                                  max_instructions_per_warp=5_000)
-    assert fast == reference
-    assert fast[0] == "error" and "budget exceeded" in fast[2]
+    outcomes = launch_tiers(module, 1, 32, {"out": out}, get_arch("P100"),
+                            kernel_name="spin",
+                            max_instructions_per_warp=5_000)
+    assert outcomes["jit"] == outcomes["dispatch"] == outcomes["oracle"]
+    assert outcomes["oracle"][0] == "error"
+    assert "budget exceeded" in outcomes["oracle"][2]
 
 
 def test_out_of_bounds_trap_equivalent():
@@ -248,11 +278,12 @@ def test_out_of_bounds_trap_equivalent():
     x = rng.normal(size=8)  # far smaller than n: guaranteed OOB
     y = rng.normal(size=8)
     out = np.zeros(8)
-    fast, reference = launch_both(
+    outcomes = launch_tiers(
         kernel.module, 4, 64, {"x": x, "y": y, "out": out, "n": 256},
         get_arch("P100"), kernel_name="saxpy_wasteful")
-    assert fast == reference
-    assert fast[0] == "error" and "out-of-bounds" in fast[2]
+    assert outcomes["jit"] == outcomes["dispatch"] == outcomes["oracle"]
+    assert outcomes["oracle"][0] == "error"
+    assert "out-of-bounds" in outcomes["oracle"][2]
 
 
 # --------------------------------------------------------------------------- decode-cache hygiene
@@ -321,3 +352,190 @@ def test_fast_path_default_and_opt_out():
     assert GpuDevice(arch, fast_path=False).fast_path is False
     assert GpuDevice(arch.with_overrides(fast_path=False)).fast_path is False
     assert GpuDevice(arch.with_overrides(fast_path=False), fast_path=True).fast_path is True
+
+
+# --------------------------------------------------------------------------- tier selection
+def test_interpreter_tier_selection():
+    """Booleans and tier names resolve to the documented tiers."""
+    arch = get_arch("P100")
+    assert GpuDevice(arch).interpreter_tier == "jit"
+    assert GpuDevice(arch, fast_path=True).interpreter_tier == "jit"
+    assert GpuDevice(arch, fast_path=False).interpreter_tier == "oracle"
+    for tier in ("oracle", "dispatch", "jit"):
+        assert GpuDevice(arch, fast_path=tier).interpreter_tier == tier
+        assert GpuDevice(arch.with_overrides(fast_path=tier)).interpreter_tier == tier
+    assert GpuDevice(arch, fast_path="reference").interpreter_tier == "oracle"
+    assert GpuDevice(arch, fast_path="dispatch").fast_path is True
+    with pytest.raises(LaunchError):
+        GpuDevice(arch, fast_path="turbo")
+
+
+def test_jit_tier_leaves_dispatch_uncompiled():
+    """The dispatch tier must measure (and run) the pure dispatch loop:
+    only a jit-tier device triggers segment compilation."""
+    from repro.gpu import decode_function
+
+    kernel = build_toy_kernel()
+    module = kernel.module
+    arch = get_arch("P100")
+    rng = np.random.default_rng(3)
+    args = {"x": rng.normal(size=64), "y": rng.normal(size=64),
+            "out": np.zeros(64), "n": 64}
+    GpuDevice(arch, fast_path="dispatch").launch(module, 1, 64, dict(args),
+                                                 kernel_name="saxpy_wasteful")
+    function = module.get_function("saxpy_wasteful")
+    decoded = decode_function(function, arch)
+    assert not decoded.jit_ready
+    GpuDevice(arch, fast_path="jit").launch(module, 1, 64, dict(args),
+                                            kernel_name="saxpy_wasteful")
+    assert decode_function(function, arch) is decoded
+    assert decoded.jit_ready
+
+
+# --------------------------------------------------------------------------- atomics with NaN/Inf
+def build_atomic_kernel(opcode):
+    """One atomic op per lane: unique addresses when ``addresses`` is the
+    lane id, colliding when the caller passes duplicates."""
+    from repro.ir import KernelBuilder, Param, build_module
+
+    params = [Param("values", "buffer"), Param("operand", "buffer"),
+              Param("addresses", "buffer"), Param("old", "buffer"),
+              Param("n", "scalar")]
+    if opcode == "atomic.cas":
+        params.insert(3, Param("compare", "buffer"))
+    b = KernelBuilder("atomick", params=params)
+    b.block("entry")
+    tid = b.tid_x()
+    bid = b.bid_x()
+    gid = b.add(b.mul(bid, b.bdim_x()), tid, dest="gid")
+    # Guard so a partial final warp exercises the masked atomic path.
+    with b.if_then(b.lt(b.reg("gid"), b.reg("n"))):
+        address = b.load(b.reg("addresses"), b.reg("gid"))
+        value = b.load(b.reg("operand"), b.reg("gid"))
+        if opcode == "atomic.max":
+            result = b.atomic_max(b.reg("values"), address, value)
+        elif opcode == "atomic.cas":
+            compare = b.load(b.reg("compare"), b.reg("gid"))
+            result = b.atomic_cas(b.reg("values"), address, compare, value)
+        elif opcode == "atomic.exch":
+            result = b.atomic_exch(b.reg("values"), address, value)
+        else:
+            result = b.atomic_add(b.reg("values"), address, value)
+        b.store(b.reg("old"), b.reg("gid"), result)
+    b.ret()
+    return build_module("atomicm", b.build())
+
+
+@pytest.mark.parametrize("opcode", ["atomic.max", "atomic.cas"])
+@pytest.mark.parametrize("collide", [False, True])
+def test_atomic_nan_inf_equivalent(opcode, collide):
+    """atomic.max / atomic.cas with NaN/Inf operands agree across all
+    tiers on both the unique-address (vectorized) and colliding
+    (per-lane loop) paths, under full and partial warps."""
+    n = 48  # partial final warp
+    rng = np.random.default_rng(11)
+    values = rng.normal(size=n)
+    values[::7] = np.nan
+    values[3::11] = np.inf
+    operand = rng.normal(size=n)
+    operand[::5] = np.nan
+    operand[1::9] = -np.inf
+    if collide:
+        addresses = rng.integers(0, 6, size=n).astype(np.float64)
+    else:
+        addresses = np.arange(n, dtype=np.float64)
+    args = {"values": values, "operand": operand, "addresses": addresses,
+            "old": np.zeros(n), "n": n}
+    if opcode == "atomic.cas":
+        compare = values.copy()
+        compare[::3] = rng.normal(size=len(compare[::3]))  # some equal, some not
+        args["compare"] = compare
+    module = build_atomic_kernel(opcode)
+    assert_equivalent_launch(module, 2, 32, args, get_arch("P100"),
+                             kernel_name="atomick")
+
+
+@pytest.mark.parametrize("opcode", ["atomic.add", "atomic.exch"])
+def test_atomic_add_exch_nan_equivalent(opcode):
+    """The previously vectorized atomics stay pinned with NaN/Inf too."""
+    n = 32
+    rng = np.random.default_rng(13)
+    values = rng.normal(size=n)
+    values[::6] = np.nan
+    operand = rng.normal(size=n)
+    operand[2::5] = np.inf
+    args = {"values": values, "operand": operand,
+            "addresses": np.arange(n, dtype=np.float64),
+            "old": np.zeros(n), "n": n}
+    module = build_atomic_kernel(opcode)
+    assert_equivalent_launch(module, 1, 32, args, get_arch("P100"),
+                             kernel_name="atomick")
+
+
+def test_masked_shfl_with_negative_delta_equivalent():
+    """A shfl whose delta register was written in the same masked segment
+    must behave identically on every tier: the gather's indices are shaped
+    by *every* lane of the delta operand, so the JIT has to read it merged
+    (an unmerged inactive-lane delta once indexed out of warp range)."""
+    from repro.ir import KernelBuilder, Param, build_module
+
+    b = KernelBuilder("shflk", params=[Param("x", "buffer"), Param("out", "buffer"),
+                                       Param("n", "scalar")])
+    b.block("entry")
+    tid = b.tid_x()
+    with b.if_then(b.lt(tid, b.reg("n"))):
+        # delta = -5 on active lanes only; inactive lanes keep the merged 0.
+        b.sub(0, 5, dest="delta")
+        value = b.load(b.reg("x"), b.reg("tid.x") if False else tid)
+        b.shfl_up_sync(-1, value, b.reg("delta"), dest="shifted")
+        b.store(b.reg("out"), tid, b.reg("shifted"))
+    b.ret()
+    module = build_module("shflm", b.build())
+    rng = np.random.default_rng(17)
+    x = rng.normal(size=32)
+    args = {"x": x, "out": np.zeros(32), "n": 27}  # partial mask: lanes 27-31 off
+    assert_equivalent_launch(module, 1, 32, args, get_arch("P100"),
+                             kernel_name="shflk")
+
+
+# --------------------------------------------------------------------------- JIT cache hygiene
+def test_jit_cache_invalidated_by_edits():
+    """Mutating a function invalidates its compiled segments: the re-JITted
+    program matches the oracle bit-for-bit after the edit."""
+    from repro.gevo.edits import InstructionDelete, OperandReplace
+    from repro.gpu import decode_function
+    from repro.ir.values import Const
+
+    kernel = build_toy_kernel()
+    module = kernel.module
+    arch = get_arch("P100")
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=128)
+    y = rng.normal(size=128)
+    args = {"x": x, "y": y, "out": np.zeros(128), "n": 128}
+
+    device = GpuDevice(arch, fast_path="jit")
+    device.launch(module, 2, 64, dict(args, out=np.zeros(128)),
+                  kernel_name="saxpy_wasteful")
+    function = module.get_function("saxpy_wasteful")
+    before = decode_function(function, arch)
+    assert before.jit_ready
+
+    # A structural edit (delete) and an in-place operand edit (uid kept)
+    # must both re-decode and re-compile.
+    InstructionDelete(kernel.edit_targets["useless_barrier"]).apply(module)
+    scaled_uid = next(inst.uid for inst in module.instructions()
+                      if inst.dest == "scaled")
+    OperandReplace(scaled_uid, 1, Const(7)).apply(module)
+
+    out_jit = np.zeros(128)
+    device.launch(module, 2, 64, dict(args, out=out_jit),
+                  kernel_name="saxpy_wasteful")
+    after = decode_function(function, arch)
+    assert after is not before
+    assert after.jit_ready
+    np.testing.assert_array_equal(out_jit, 7.0 * x + y)
+
+    # And the recompiled program still matches the other tiers exactly.
+    assert_equivalent_launch(module, 2, 64, args, arch,
+                             kernel_name="saxpy_wasteful")

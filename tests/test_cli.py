@@ -46,6 +46,55 @@ class TestCli:
             main([])
 
 
+class TestInterpreterTierFlags:
+    def test_search_accepts_each_tier(self, capsys):
+        for tier in ("jit", "dispatch", "oracle"):
+            assert main(["search", "toy", "--population", "4",
+                         "--generations", "1", "--seed", "3",
+                         "--interpreter-tier", tier]) == 0
+            assert "best speedup" in capsys.readouterr().out
+
+    def test_reference_interpreter_still_selects_the_oracle(self, capsys):
+        assert main(["search", "toy", "--population", "4", "--generations", "1",
+                     "--seed", "3", "--reference-interpreter"]) == 0
+        assert "best speedup" in capsys.readouterr().out
+
+    def test_reference_flag_agrees_with_explicit_oracle(self, capsys):
+        assert main(["search", "toy", "--population", "4", "--generations", "1",
+                     "--seed", "3", "--reference-interpreter",
+                     "--interpreter-tier", "oracle"]) == 0
+        assert "best speedup" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("tier", ["jit", "dispatch"])
+    @pytest.mark.parametrize("command", [
+        ["search", "toy"],
+        ["baseline", "random", "toy"],
+        ["sweep", "--arch", "P100", "--workload", "toy"],
+    ])
+    def test_contradictory_tier_flags_are_rejected(self, command, tier,
+                                                   capsys, tmp_path):
+        argv = command + ["--reference-interpreter", "--interpreter-tier", tier]
+        if command[0] == "sweep":
+            argv += ["--sweep-dir", str(tmp_path / "sweep")]
+        else:
+            argv += ["--population", "4", "--generations", "1"]
+        assert main(argv) == 2
+        error = capsys.readouterr().err
+        assert "--reference-interpreter" in error
+        assert "drop one of the two flags" in error
+
+    def test_tier_results_are_bit_identical(self, capsys):
+        outputs = []
+        for tier in ("jit", "dispatch", "oracle"):
+            assert main(["search", "toy", "--population", "6",
+                         "--generations", "2", "--seed", "7",
+                         "--interpreter-tier", tier]) == 0
+            output = capsys.readouterr().out
+            outputs.append(next(line for line in output.splitlines()
+                                if line.startswith("best speedup")))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
 class TestBaselineCli:
     def test_random_baseline_runs(self, capsys):
         assert main(["baseline", "random", "toy", "--population", "6",

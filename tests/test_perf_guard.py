@@ -1,0 +1,56 @@
+"""The run-over-run perf-regression guard reads the trajectory correctly."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_perf_regression import main  # noqa: E402
+
+
+def write_trajectory(path, speedups, gate="jit"):
+    runs = [{"gate": gate, "timestamp": f"t{i}",
+             "hot_loop": {"speedup": value}}
+            for i, value in enumerate(speedups)]
+    path.write_text(json.dumps({"benchmark": "simulator_fast_path",
+                                "runs": runs}))
+
+
+def test_passes_with_fewer_than_two_runs(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    write_trajectory(path, [10.0])
+    assert main([str(path)]) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+
+
+def test_passes_when_within_threshold(tmp_path):
+    path = tmp_path / "bench.json"
+    write_trajectory(path, [10.0, 9.0])  # -10% < 20% threshold
+    assert main([str(path)]) == 0
+
+
+def test_fails_on_regression(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    write_trajectory(path, [10.0, 7.0])  # -30% > 20% threshold
+    assert main([str(path)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_ignores_other_gates_and_improvements(tmp_path):
+    path = tmp_path / "bench.json"
+    runs = [
+        {"gate": "jit", "hot_loop": {"speedup": 10.0}},
+        {"gate": "dispatch", "hot_loop": {"speedup": 1.0}},  # not compared
+        {"gate": "jit", "hot_loop": {"speedup": 12.0}},      # improvement
+    ]
+    path.write_text(json.dumps({"runs": runs}))
+    assert main([str(path)]) == 0
+
+
+def test_missing_or_corrupt_file_is_not_an_error(tmp_path):
+    assert main([str(tmp_path / "absent.json")]) == 0
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{nope")
+    assert main([str(corrupt)]) == 0

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail when the JIT hot-loop speedup regresses run-over-run.
+
+Reads the ``BENCH_simulator.json`` trajectory that
+``benchmarks/test_simulator_microbench.py`` appends to (CI restores the
+previous run's file from the actions cache before the gate runs, so the
+trajectory spans runs), picks the last two ``"gate": "jit"`` entries and
+exits non-zero when the newest hot-loop speedup dropped by more than the
+threshold relative to the previous one.
+
+Intended for a *non-blocking* CI job: a regression reports loudly on the
+run without gating merges (wall-clock measurements on shared runners are
+too noisy to block on), while the absolute floors inside the pytest gate
+still protect the headline numbers.
+
+Usage::
+
+    python tools/check_perf_regression.py [BENCH_simulator.json]
+        [--threshold 0.2] [--gate jit] [--metric hot_loop]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_runs(path: Path) -> list:
+    try:
+        document = json.loads(path.read_text())
+    except FileNotFoundError:
+        return []
+    except (ValueError, OSError) as error:
+        print(f"warning: could not read {path}: {error}")
+        return []
+    runs = document.get("runs") if isinstance(document, dict) else None
+    return runs if isinstance(runs, list) else []
+
+
+def speedups(runs: list, gate: str, metric: str) -> list:
+    values = []
+    for run in runs:
+        if not isinstance(run, dict) or run.get("gate") != gate:
+            continue
+        section = run.get(metric)
+        if isinstance(section, dict) and isinstance(
+                section.get("speedup"), (int, float)):
+            values.append((run.get("timestamp", "?"), float(section["speedup"])))
+    return values
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run-over-run perf regression check for the simulator "
+                    "benchmark trajectory")
+    parser.add_argument("trajectory", nargs="?", default="BENCH_simulator.json",
+                        help="path to BENCH_simulator.json (default: ./)")
+    parser.add_argument("--threshold", type=float, default=0.2, metavar="FRAC",
+                        help="maximum tolerated fractional drop between the "
+                             "last two runs (default: 0.2 = 20%%)")
+    parser.add_argument("--gate", default="jit",
+                        help="which gate's entries to compare (default: jit)")
+    parser.add_argument("--metric", default="hot_loop",
+                        help="which section's speedup to compare "
+                             "(default: hot_loop)")
+    arguments = parser.parse_args(argv)
+
+    runs = speedups(load_runs(Path(arguments.trajectory)),
+                    arguments.gate, arguments.metric)
+    if len(runs) < 2:
+        print(f"{len(runs)} {arguments.gate!r} run(s) in trajectory; "
+              "nothing to compare yet")
+        return 0
+    (previous_stamp, previous), (latest_stamp, latest) = runs[-2], runs[-1]
+    drop = (previous - latest) / previous if previous > 0 else 0.0
+    print(f"{arguments.gate} {arguments.metric} speedup: "
+          f"{previous:.2f}x ({previous_stamp}) -> {latest:.2f}x ({latest_stamp}) "
+          f"[{-drop:+.1%}]")
+    if drop > arguments.threshold:
+        print(f"REGRESSION: speedup dropped {drop:.1%} "
+              f"(> {arguments.threshold:.0%} threshold)")
+        return 1
+    print("within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
