@@ -29,6 +29,7 @@ import pytest
 
 from repro.gpu import GpuDevice, get_arch
 from repro.ir import KernelBuilder, Param, build_module
+from repro.runtime.telemetry import new_run_id
 from repro.workloads import ToyWorkloadAdapter
 from repro.workloads.adept import AdeptDriver, generate_pairs
 from repro.workloads.simcov import SimCovDriver, SimCovParams
@@ -198,6 +199,7 @@ def test_fast_path_speedup_gate():
     append_bench_entry({
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
+        "run_id": new_run_id(),
         "gate": "dispatch",
         "hot_loop": {"fast_s": fast_s, "reference_s": reference_s,
                      "speedup": hot_speedup},
@@ -286,6 +288,7 @@ def test_jit_speedup_gate():
     append_bench_entry({
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
+        "run_id": new_run_id(),
         "gate": "jit",
         "hot_loop": {"jit_s": jit_s, "oracle_s": oracle_s,
                      "speedup": hot_speedup},

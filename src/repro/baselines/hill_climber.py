@@ -85,9 +85,11 @@ class HillClimber:
         :class:`~repro.errors.SearchError`.
         """
         from ..runtime.checkpoint import resolve_checkpoint
+        from ..runtime.telemetry import telemetry_of
 
         start = time.perf_counter()
         engine = self.evaluator.engine
+        telemetry = telemetry_of(engine)
         budget = steps if steps is not None else (
             self.config.population_size * self.config.generations)
         self._evaluations_before_resume = 0
@@ -116,6 +118,9 @@ class HillClimber:
             self.evaluator.evaluate_individual(self._current)
         history = self._history
         current = self._current
+        telemetry.event("search.start", algorithm=self.algorithm,
+                        workload=engine.workload_id, budget=budget,
+                        seed=self.config.seed, resumed=resume_from is not None)
 
         for step in range(self._step + 1, budget + 1):
             self._step = step
@@ -129,18 +134,33 @@ class HillClimber:
             if candidate.valid and candidate_fitness < current_fitness:
                 current = candidate
                 self._accepted += 1
+                accepted = True
             else:
                 self._rejected += 1
+                accepted = False
             self._current = current
             history.record_generation(step, [current], current, step)
+            if telemetry.enabled:
+                telemetry.event(
+                    "search.step", step=step, accepted=accepted,
+                    best_fitness=current.fitness if current.valid else None,
+                    edits=len(current.edits))
             if checkpoint_path is not None and step % max(1, checkpoint_every) == 0:
                 self.capture_checkpoint().save(checkpoint_path)
+                telemetry.event("search.checkpoint", path=str(checkpoint_path),
+                                round=step)
         if checkpoint_path is not None:
             # Final state, regardless of the cadence: re-running the same
             # command resumes (and immediately finishes) instead of
             # repeating the tail since the last periodic checkpoint.
             self.capture_checkpoint().save(checkpoint_path)
 
+        telemetry.event(
+            "search.end", algorithm=self.algorithm, steps=self._step,
+            accepted=self._accepted, rejected=self._rejected,
+            best_fitness=current.fitness if current.valid else None,
+            evaluations=self.evaluator.evaluations + self._evaluations_before_resume,
+            wall_clock_seconds=time.perf_counter() - start)
         return HillClimbResult(
             best=current,
             history=history,

@@ -88,9 +88,11 @@ class RandomSearch:
         starting fresh.
         """
         from ..runtime.checkpoint import resolve_checkpoint
+        from ..runtime.telemetry import telemetry_of
 
         start = time.perf_counter()
         engine = self.evaluator.engine
+        telemetry = telemetry_of(engine)
         config = self.config
         budget = config.population_size * config.generations
         self._evaluations_before_resume = 0
@@ -110,6 +112,9 @@ class RandomSearch:
             baseline = engine.baseline()
             self._history = SearchHistory(baseline_runtime=baseline.runtime_ms)
         history = self._history
+        telemetry.event("search.start", algorithm=self.algorithm,
+                        workload=engine.workload_id, budget=budget,
+                        seed=config.seed, resumed=resume_from is not None)
 
         generation_size = config.population_size
         while self._evaluated < budget:
@@ -125,12 +130,28 @@ class RandomSearch:
                         or (individual.fitness or math.inf) < (self._best.fitness or math.inf)):
                     self._best = individual
             history.record_generation(self._generation, batch, self._best, self._evaluated)
+            if telemetry.enabled:
+                valid = [ind.fitness for ind in batch
+                         if ind.valid and ind.fitness is not None]
+                telemetry.event(
+                    "search.generation", generation=self._generation,
+                    best_fitness=self._best.fitness if self._best is not None else None,
+                    mean_fitness=sum(valid) / len(valid) if valid else None,
+                    valid_count=len(valid), stagnation=0,
+                    evaluations=self._evaluated)
             if checkpoint_path is not None and self._generation % max(1, checkpoint_every) == 0:
                 self.capture_checkpoint().save(checkpoint_path)
+                telemetry.event("search.checkpoint", path=str(checkpoint_path),
+                                round=self._generation)
         if checkpoint_path is not None:
             # Final state, regardless of the cadence (see HillClimber.run).
             self.capture_checkpoint().save(checkpoint_path)
 
+        telemetry.event(
+            "search.end", algorithm=self.algorithm, generations=self._generation,
+            best_fitness=self._best.fitness if self._best is not None else None,
+            evaluations=self.evaluator.evaluations + self._evaluations_before_resume,
+            wall_clock_seconds=time.perf_counter() - start)
         return RandomSearchResult(
             best=self._best,
             history=history,

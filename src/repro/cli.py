@@ -24,6 +24,7 @@ benchmark harness, so the CLI is simply another front end over
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -34,6 +35,7 @@ from .experiments import available_experiments, get_experiment
 from .gevo import GevoConfig, GevoSearch
 from .gpu import EVALUATION_ORDER, available_archs, parse_arch_list
 from .runtime import EvaluationEngine, FitnessCache, SearchCheckpoint, make_executor
+from .runtime.console import ConsoleReporter, configure_console, console_logger
 from .runtime.sweep import (
     METHOD_CHOICES,
     SweepSpec,
@@ -41,9 +43,13 @@ from .runtime.sweep import (
     resolve_workload,
     run_sweep,
 )
+from .runtime.telemetry import Telemetry, emit_module_hotspots
+from .runtime.trace_format import summarize_trace
 
 #: Workload names accepted by ``search`` / ``baseline`` / ``sweep``.
 WORKLOADS = ["toy", "adept-v1", "simcov"]
+
+_log = console_logger("cli")
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -83,6 +89,22 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="shorthand for --interpreter-tier oracle (kept from before the "
              "tier flag existed); combining it with any other explicit tier "
              "is an error")
+    parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="record a structured telemetry trace under DIR: events.jsonl "
+             "(engine batches, executor dispatch/faults, per-generation "
+             "search progress) plus metrics.json; inspect with "
+             "'repro trace summarize DIR'")
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics snapshot (counters/gauges/histograms) as "
+             "JSON when the command finishes")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress lines; only warnings and errors")
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also show per-generation / per-step search progress")
 
 
 def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
@@ -172,6 +194,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="checkpoint each leg every G rounds (default: every round; "
              "the hill climber defaults to every population-size steps)")
     _add_engine_arguments(sweep_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a telemetry trace directory recorded with --trace")
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command",
+                                                   required=True)
+    summarize_parser = trace_subparsers.add_parser(
+        "summarize", help="render phase timing, cache hit rate, evals/sec, "
+                          "executor utilization and profiler hotspots")
+    summarize_parser.add_argument(
+        "trace_dir", metavar="DIR",
+        help="trace directory (holds events.jsonl and metrics.json)")
     return parser
 
 
@@ -194,13 +227,40 @@ def _resolve_interpreter_tier(arguments: argparse.Namespace) -> Optional[str]:
     return tier
 
 
-def _make_engine(adapter, arguments: argparse.Namespace) -> EvaluationEngine:
+def _make_telemetry(arguments: argparse.Namespace) -> Telemetry:
+    """The command's telemetry handle, with the console reporter attached.
+
+    Always enabled for CLI runs: the console reporter renders progress
+    from the event stream, so the events must flow even without
+    ``--trace`` (no trace dir means no files are written -- and pool
+    workers fall back to :data:`~repro.runtime.telemetry.NULL_TELEMETRY`,
+    keeping the evaluation path un-instrumented).
+    """
+    configure_console(quiet=arguments.quiet, verbose=arguments.verbose)
+    telemetry = Telemetry(arguments.trace, enabled=True)
+    telemetry.add_sink(ConsoleReporter())
+    return telemetry
+
+
+def _finish_telemetry(arguments: argparse.Namespace, telemetry: Telemetry) -> None:
+    """Merge/flush the trace and honour ``--metrics``."""
+    telemetry.close()
+    if arguments.metrics:
+        print(json.dumps(telemetry.metrics_snapshot(), indent=2, sort_keys=True))
+    if arguments.trace:
+        _log.info(f"trace: {arguments.trace} (events.jsonl + metrics.json, "
+                  f"run {telemetry.run_id})")
+
+
+def _make_engine(adapter, arguments: argparse.Namespace,
+                 telemetry: Optional[Telemetry] = None) -> EvaluationEngine:
     backend = None if arguments.cache_backend == "auto" else arguments.cache_backend
     return EvaluationEngine(
         adapter,
         executor=make_executor(arguments.jobs, arguments.executor),
         cache=FitnessCache(arguments.cache, backend=backend,
-                           shards=arguments.cache_shards))
+                           shards=arguments.cache_shards),
+        telemetry=telemetry)
 
 
 def _load_resume_checkpoint(arguments: argparse.Namespace,
@@ -209,13 +269,13 @@ def _load_resume_checkpoint(arguments: argparse.Namespace,
     if arguments.resume is None or not os.path.exists(arguments.resume):
         return None, config
     checkpoint = SearchCheckpoint.load(arguments.resume)
-    print(f"resuming from {arguments.resume} "
-          f"(round {checkpoint.generation}, "
-          f"{len(checkpoint.cache_entries)} cached fitness results)")
+    _log.info(f"resuming from {arguments.resume} "
+              f"(round {checkpoint.generation}, "
+              f"{len(checkpoint.cache_entries)} cached fitness results)")
     restored = checkpoint.restore_config()
     if restored != config:
-        print("note: resuming with the checkpoint's configuration; "
-              "--population/--generations/--seed flags are ignored")
+        _log.info("note: resuming with the checkpoint's configuration; "
+                  "--population/--generations/--seed flags are ignored")
     return checkpoint, restored
 
 
@@ -246,16 +306,17 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
 
 def _command_search(arguments: argparse.Namespace) -> int:
+    telemetry = _make_telemetry(arguments)
     adapter = make_adapter(arguments.workload, arguments.arch,
                            interpreter_tier=_resolve_interpreter_tier(arguments))
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
-    engine = _make_engine(adapter, arguments)
+    engine = _make_engine(adapter, arguments, telemetry)
     resume_from, config = _load_resume_checkpoint(arguments, config)
 
-    print(f"searching {adapter.name}: population={config.population_size}, "
-          f"generations={config.generations}, executor={engine.executor.name}")
+    _log.info(f"searching {adapter.name}: population={config.population_size}, "
+              f"generations={config.generations}, executor={engine.executor.name}")
     try:
         result = GevoSearch(adapter, config, engine=engine).run(
             validate_best=True,
@@ -265,31 +326,36 @@ def _command_search(arguments: argparse.Namespace) -> int:
         )
     finally:
         engine.close()
-    print(f"best speedup: {result.speedup:.3f}x with {len(result.best_edits())} edits "
-          f"({result.evaluations} evaluations, {result.wall_clock_seconds:.1f}s)")
-    print(f"runtime: {engine.stats().summary()}")
+    _log.info(f"best speedup: {result.speedup:.3f}x with {len(result.best_edits())} edits "
+              f"({result.evaluations} evaluations, {result.wall_clock_seconds:.1f}s)")
+    _log.info(f"runtime: {engine.stats().summary()}")
     if result.validation is not None:
-        print(f"held-out validation: {'pass' if result.validation.valid else 'FAIL'}")
+        _log.info(f"held-out validation: {'pass' if result.validation.valid else 'FAIL'}")
     for edit in result.best_edits():
-        print(f"  - {edit.describe(adapter.original_module())}")
+        _log.info(f"  - {edit.describe(adapter.original_module())}")
+    if arguments.trace:
+        emit_module_hotspots(telemetry, adapter, adapter.original_module(),
+                             label=f"search-{arguments.workload}")
+    _finish_telemetry(arguments, telemetry)
     return 0
 
 
 def _command_baseline(arguments: argparse.Namespace) -> int:
+    telemetry = _make_telemetry(arguments)
     adapter = make_adapter(arguments.workload, arguments.arch,
                            interpreter_tier=_resolve_interpreter_tier(arguments))
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
-    engine = _make_engine(adapter, arguments)
+    engine = _make_engine(adapter, arguments, telemetry)
     resume_from, config = _load_resume_checkpoint(arguments, config)
 
     method = "random search" if arguments.method == "random" else "hill climbing"
     budget = (arguments.steps
               if arguments.method == "hill" and arguments.steps is not None
               else config.population_size * config.generations)
-    print(f"{method} on {adapter.name}: budget={budget}, "
-          f"executor={engine.executor.name}")
+    _log.info(f"{method} on {adapter.name}: budget={budget}, "
+              f"executor={engine.executor.name}")
     try:
         if arguments.method == "random":
             search = RandomSearch(adapter, config, engine=engine)
@@ -297,9 +363,9 @@ def _command_baseline(arguments: argparse.Namespace) -> int:
                                 checkpoint_every=arguments.checkpoint_every or 1,
                                 resume_from=resume_from)
             edits = len(result.best.edits) if result.best is not None else 0
-            print(f"best speedup: {result.speedup:.3f}x with {edits} edits "
-                  f"({result.evaluations} evaluations, "
-                  f"{result.wall_clock_seconds:.1f}s)")
+            _log.info(f"best speedup: {result.speedup:.3f}x with {edits} edits "
+                      f"({result.evaluations} evaluations, "
+                      f"{result.wall_clock_seconds:.1f}s)")
         else:
             # A hill-climbing "round" is one evaluation, and every
             # checkpoint re-serialises the whole cache: default to one
@@ -311,18 +377,23 @@ def _command_baseline(arguments: argparse.Namespace) -> int:
                                 checkpoint_path=arguments.resume,
                                 checkpoint_every=checkpoint_every,
                                 resume_from=resume_from)
-            print(f"best speedup: {result.speedup:.3f}x with {len(result.best.edits)} "
-                  f"edits ({result.accepted_edits} accepted / "
-                  f"{result.rejected_edits} rejected, "
-                  f"{result.evaluations} evaluations, "
-                  f"{result.wall_clock_seconds:.1f}s)")
+            _log.info(f"best speedup: {result.speedup:.3f}x with {len(result.best.edits)} "
+                      f"edits ({result.accepted_edits} accepted / "
+                      f"{result.rejected_edits} rejected, "
+                      f"{result.evaluations} evaluations, "
+                      f"{result.wall_clock_seconds:.1f}s)")
     finally:
         engine.close()
-    print(f"runtime: {engine.stats().summary()}")
+    _log.info(f"runtime: {engine.stats().summary()}")
+    if arguments.trace:
+        emit_module_hotspots(telemetry, adapter, adapter.original_module(),
+                             label=f"baseline-{arguments.method}-{arguments.workload}")
+    _finish_telemetry(arguments, telemetry)
     return 0
 
 
 def _command_sweep(arguments: argparse.Namespace) -> int:
+    telemetry = _make_telemetry(arguments)
     interpreter_tier = _resolve_interpreter_tier(arguments)
     try:
         archs = parse_arch_list(arguments.arch)
@@ -344,18 +415,15 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
                      population=arguments.population,
                      generations=arguments.generations)
     backend = None if arguments.cache_backend == "auto" else arguments.cache_backend
-    print(f"sweep: {len(spec.legs())} legs "
-          f"({len(workloads)} workloads x {len(archs)} archs x {len(seeds)} seeds), "
-          f"method={arguments.method}, executor={arguments.executor}, "
-          f"jobs={arguments.jobs}"
-          + (", resuming" if arguments.resume else ""))
+    _log.info(f"sweep: {len(spec.legs())} legs "
+              f"({len(workloads)} workloads x {len(archs)} archs x {len(seeds)} seeds), "
+              f"method={arguments.method}, executor={arguments.executor}, "
+              f"jobs={arguments.jobs}"
+              + (", resuming" if arguments.resume else ""))
 
-    def narrate(leg, outcome):
-        print(f"  [{outcome.status:>9}] {leg.leg_id}: "
-              f"{outcome.speedup:.3f}x, {outcome.evaluations} evaluations "
-              f"({outcome.fresh_evaluations} fresh, "
-              f"{outcome.wall_clock_seconds:.1f}s)")
-
+    # Per-leg progress lines come from the console reporter rendering the
+    # orchestrator's ``sweep.leg`` telemetry events -- no separate
+    # narration callback to drift out of sync with the trace.
     report = run_sweep(
         spec, arguments.sweep_dir,
         resume=arguments.resume,
@@ -366,15 +434,30 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         cache_shards=arguments.cache_shards,
         checkpoint_every=arguments.checkpoint_every,
         interpreter_tier=interpreter_tier,
-        progress=narrate,
+        telemetry=telemetry,
     )
-    print()
-    print(report.to_table())
+    _log.info("")
+    _log.info(report.to_table())
     totals = report.totals()
-    print(f"\ntotals: {totals['completed']} legs run, {totals['skipped']} skipped, "
-          f"{totals['fresh_evaluations']} fresh evaluations")
+    _log.info(f"\ntotals: {totals['completed']} legs run, {totals['skipped']} skipped, "
+              f"{totals['fresh_evaluations']} fresh evaluations")
     json_path = os.path.join(arguments.sweep_dir, "report.json")
-    print(f"report: {json_path} (+ report.csv)")
+    _log.info(f"report: {json_path} (+ report.csv)")
+    _finish_telemetry(arguments, telemetry)
+    return 0
+
+
+def _command_trace(arguments: argparse.Namespace) -> int:
+    trace_dir = arguments.trace_dir
+    if not os.path.isdir(trace_dir):
+        print(f"error: {trace_dir} is not a directory", file=sys.stderr)
+        return 2
+    summary = summarize_trace(trace_dir)
+    if not summary.event_count:
+        print(f"error: no trace events under {trace_dir} "
+              "(expected events.jsonl or events-*.jsonl)", file=sys.stderr)
+        return 2
+    print(summary.render())
     return 0
 
 
@@ -385,6 +468,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if arguments.command == "run":
         return _command_run(arguments)
+    if arguments.command == "trace":
+        return _command_trace(arguments)
     try:
         if arguments.command == "baseline":
             return _command_baseline(arguments)

@@ -105,9 +105,11 @@ class GevoSearch:
         starting fresh.
         """
         from ..runtime.checkpoint import resolve_checkpoint
+        from ..runtime.telemetry import telemetry_of
 
         config = self.config
         engine = self.evaluator.engine
+        telemetry = telemetry_of(engine)
         start = time.perf_counter()
         self._evaluations_before_resume = 0
         self._stagnation = 0
@@ -130,6 +132,11 @@ class GevoSearch:
             self.evaluator.evaluate_population(self._population)
             self._best = best_individual(self._population)
         history = self._history
+        telemetry.event("search.start", algorithm=self.algorithm,
+                        workload=engine.workload_id,
+                        generations=config.generations,
+                        population_size=config.population_size,
+                        seed=config.seed, resumed=resume_from is not None)
 
         for generation in range(self._generation + 1, config.generations + 1):
             # Checked at the top so a resumed run that had already stopped
@@ -150,10 +157,21 @@ class GevoSearch:
             self._generation = generation
             history.record_generation(generation, self._population, self._best,
                                       self.total_evaluations(self._evaluations_before_resume))
+            if telemetry.enabled:
+                valid = [ind.fitness for ind in self._population
+                         if ind.valid and ind.fitness is not None]
+                telemetry.event(
+                    "search.generation", generation=generation,
+                    best_fitness=self._best.fitness if self._best is not None else None,
+                    mean_fitness=sum(valid) / len(valid) if valid else None,
+                    valid_count=len(valid), stagnation=self._stagnation,
+                    evaluations=self.total_evaluations(self._evaluations_before_resume))
             if self.progress is not None:
                 self.progress(generation, history)
             if checkpoint_path is not None and generation % max(1, checkpoint_every) == 0:
                 self.capture_checkpoint().save(checkpoint_path)
+                telemetry.event("search.checkpoint", path=str(checkpoint_path),
+                                round=generation)
         if checkpoint_path is not None:
             # Final state, regardless of the cadence: re-running the same
             # command resumes (and immediately finishes) instead of
@@ -165,6 +183,12 @@ class GevoSearch:
             applied = apply_edits(self.evaluator.original, self._best.edits)
             validation = self.adapter.validate(applied.module)
 
+        telemetry.event(
+            "search.end", algorithm=self.algorithm,
+            generations=self._generation,
+            best_fitness=self._best.fitness if self._best is not None else None,
+            evaluations=self.total_evaluations(self._evaluations_before_resume),
+            wall_clock_seconds=time.perf_counter() - start)
         return SearchResult(
             best=self._best,
             history=history,

@@ -173,6 +173,10 @@ class GpuDevice:
             postdominators = decoded.postdominators
         scalar_arrays = self._shared_scalar_arrays(scalar_bindings)
         profiler = ProfileCollector(enabled=self.profile_enabled)
+        #: Most recent launch's profile; read back by the runtime's
+        #: observability helpers (hotspot emission) without threading the
+        #: collector through every fitness result.
+        self.last_profile = profiler
         cost_model = CostModel(self.arch)
         budget = max_instructions_per_warp or self.max_instructions_per_warp
 

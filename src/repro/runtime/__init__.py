@@ -23,7 +23,13 @@ directory of hash-partitioned SQLite shards in
 (the :class:`CheckpointableSearch` protocol behind checkpoint/resume for
 GEVO and both baselines) and :mod:`repro.runtime.sweep` (the
 multi-architecture sweep orchestrator behind ``repro sweep``).
-A fuller guide lives in ``docs/runtime.md``.
+Observability lives in :mod:`repro.runtime.telemetry` (the run-scoped
+:class:`Telemetry` handle: structured event log + metrics registry,
+a true no-op when disabled), :mod:`repro.runtime.trace_format` (the
+JSONL schema, deterministic multi-process merge and trace summaries)
+and :mod:`repro.runtime.console` (the logging-based console reporter
+that renders telemetry events).  A fuller guide lives in
+``docs/runtime.md`` and ``docs/observability.md``.
 """
 
 from .cache import (
@@ -57,6 +63,7 @@ from .engine import (
     default_jobs,
     make_executor,
 )
+from .console import ConsoleReporter, configure_console, console_logger
 from .executors import AsyncExecutor, ShardedExecutor
 from .sharded_store import ShardedCacheStore
 from .sqlite_store import SqliteCacheStore
@@ -68,6 +75,24 @@ from .sweep import (
     make_adapter,
     run_sweep,
 )
+from .telemetry import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Telemetry,
+    emit_module_hotspots,
+    new_run_id,
+    telemetry_of,
+)
+from .trace_format import (
+    TraceEvent,
+    TraceSummary,
+    load_metrics,
+    load_trace,
+    merge_events,
+    merge_trace_dir,
+    read_events,
+    summarize_trace,
+)
 
 __all__ = [
     "AsyncExecutor",
@@ -75,12 +100,15 @@ __all__ = [
     "CacheStats",
     "CacheStore",
     "CheckpointableSearch",
+    "ConsoleReporter",
     "EngineStats",
     "EvaluationEngine",
     "Executor",
     "FitnessCache",
     "JsonCacheStore",
     "LegOutcome",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
     "ParallelExecutor",
     "SearchCheckpoint",
     "SerialExecutor",
@@ -90,14 +118,26 @@ __all__ = [
     "SweepLeg",
     "SweepReport",
     "SweepSpec",
+    "Telemetry",
+    "TraceEvent",
+    "TraceSummary",
     "canonical_edit_hash",
     "canonical_edit_key",
+    "configure_console",
+    "console_logger",
     "default_jobs",
     "deserialize_history",
     "deserialize_individual",
+    "emit_module_hotspots",
+    "load_metrics",
+    "load_trace",
     "make_adapter",
     "make_cache_store",
     "make_executor",
+    "merge_events",
+    "merge_trace_dir",
+    "new_run_id",
+    "read_events",
     "resolve_checkpoint",
     "result_from_dict",
     "result_to_dict",
@@ -105,4 +145,6 @@ __all__ = [
     "serialize_history",
     "serialize_individual",
     "shard_index",
+    "summarize_trace",
+    "telemetry_of",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -34,6 +35,7 @@ from ..gevo.edits import Edit, edit_from_dict
 from ..gevo.fitness import FitnessResult, WorkloadAdapter
 from ..gevo.genome import apply_edits
 from .cache import CacheKey, FitnessCache, canonical_edit_hash
+from .telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
     "EngineStats",
@@ -74,12 +76,49 @@ class Executor:
       completed, so a raising batch never corrupts the cache;
     * :meth:`close` releases resources and is idempotent; an executor
       must remain usable for a fresh batch after a failed one.
+
+    Implementations override :meth:`_run_batch`; the public
+    :meth:`run_batch` is a template that additionally emits
+    ``executor.dispatch`` / ``executor.complete`` / ``executor.fault``
+    telemetry events when a :class:`~repro.runtime.telemetry.Telemetry`
+    handle is bound (see :meth:`bind_telemetry`) -- a single attribute
+    check when telemetry is disabled.
     """
 
     name = "executor"
+    #: Bound by the owning engine; the null handle is a true no-op.
+    telemetry: Telemetry = NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach the run's telemetry handle (events + worker plumbing)."""
+        self.telemetry = telemetry
 
     def run_batch(self, adapter: WorkloadAdapter, original,
                   edit_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._run_batch(adapter, original, edit_sets)
+        telemetry.event("executor.dispatch", executor=self.name,
+                        batch=len(edit_sets), jobs=getattr(self, "jobs", 1))
+        start = time.monotonic()
+        try:
+            results = self._run_batch(adapter, original, edit_sets)
+        except Exception as exc:
+            cause = exc.__cause__
+            telemetry.event("executor.fault", executor=self.name,
+                            batch=len(edit_sets), error=str(exc),
+                            error_type=type(exc).__name__,
+                            cause_type=(type(cause).__name__
+                                        if cause is not None else None))
+            telemetry.counter("executor.faults").inc()
+            raise
+        telemetry.event("executor.complete", executor=self.name,
+                        batch=len(edit_sets),
+                        seconds=time.monotonic() - start)
+        return results
+
+    def _run_batch(self, adapter: WorkloadAdapter, original,
+                   edit_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -91,7 +130,7 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def run_batch(self, adapter, original, edit_sets):
+    def _run_batch(self, adapter, original, edit_sets):
         return [_evaluate_one(adapter, original, edits) for edits in edit_sets]
 
 
@@ -99,6 +138,7 @@ class SerialExecutor(Executor):
 # exactly once (in the pool initializer) instead of once per task.
 _worker_adapter: Optional[WorkloadAdapter] = None
 _worker_original = None
+_worker_telemetry: Telemetry = NULL_TELEMETRY
 
 
 def _prewarm_worker_caches(adapter, module) -> None:
@@ -133,16 +173,23 @@ def _prewarm_worker_caches(adapter, module) -> None:
         pass
 
 
-def _init_worker(adapter_payload: bytes) -> None:
-    global _worker_adapter, _worker_original
+def _init_worker(adapter_payload: bytes,
+                 telemetry_config: Optional[Dict[str, str]] = None) -> None:
+    global _worker_adapter, _worker_original, _worker_telemetry
     _worker_adapter = pickle.loads(adapter_payload)
     _worker_original = _worker_adapter.original_module()
+    # Each worker appends to its own events-worker-<pid>.jsonl stream;
+    # the owning run's Telemetry.close() merges the parts.
+    _worker_telemetry = Telemetry.from_worker_config(telemetry_config)
     _prewarm_worker_caches(_worker_adapter, _worker_original)
 
 
 def _worker_evaluate(edit_dicts: List[Dict[str, object]]) -> FitnessResult:
     edits = [edit_from_dict(data) for data in edit_dicts]
-    return _evaluate_one(_worker_adapter, _worker_original, edits)
+    if not _worker_telemetry.enabled:
+        return _evaluate_one(_worker_adapter, _worker_original, edits)
+    with _worker_telemetry.span("worker.evaluate", edits=len(edits)):
+        return _evaluate_one(_worker_adapter, _worker_original, edits)
 
 
 class ParallelExecutor(Executor):
@@ -175,11 +222,12 @@ class ParallelExecutor(Executor):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_init_worker,
-                initargs=(pickle.dumps(adapter),),
+                initargs=(pickle.dumps(adapter),
+                          self.telemetry.worker_config()),
             )
         return self._pool
 
-    def run_batch(self, adapter, original, edit_sets):
+    def _run_batch(self, adapter, original, edit_sets):
         if len(edit_sets) <= 1 or self.jobs == 1:
             # Not worth shipping to workers; keeps single lookups cheap.
             return SerialExecutor().run_batch(adapter, original, edit_sets)
@@ -243,10 +291,29 @@ class EngineStats:
     executor: str
     jobs: int
     cache_size: int
+    #: Seconds since the engine was created (the run's wall clock).
+    wall_clock_seconds: float = 0.0
+    #: Fresh evaluations per second of *executor-busy* time (time spent
+    #: inside batch dispatch), the engine's throughput headline.
+    evaluations_per_second: float = 0.0
 
     def summary(self) -> str:
         return (f"{self.evaluations} evaluations, {self.cache_hits} cache hits "
-                f"({self.executor}, jobs={self.jobs}, {self.cache_size} cached)")
+                f"({self.executor}, jobs={self.jobs}, {self.cache_size} cached, "
+                f"{self.evaluations_per_second:.1f} evals/s, "
+                f"{self.wall_clock_seconds:.1f}s wall)")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executor": self.executor,
+            "jobs": self.jobs,
+            "cache_size": self.cache_size,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "evaluations_per_second": self.evaluations_per_second,
+        }
 
 
 class EvaluationEngine:
@@ -265,22 +332,32 @@ class EvaluationEngine:
     workload_id / arch_name:
         Cache-key namespace; derived from the adapter when omitted
         (``adapter.name`` and ``adapter.arch.name``).
+    telemetry:
+        A :class:`~repro.runtime.telemetry.Telemetry` handle; batch
+        spans, cache counters and executor events flow through it.
+        Defaults to the disabled null handle (a true no-op).
     """
 
     def __init__(self, adapter: WorkloadAdapter, *,
                  executor: Optional[Executor] = None,
                  cache: Optional[FitnessCache] = None,
                  workload_id: Optional[str] = None,
-                 arch_name: Optional[str] = None):
+                 arch_name: Optional[str] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.adapter = adapter
         self.executor = executor or SerialExecutor()
         self.cache = cache if cache is not None else FitnessCache()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.executor.bind_telemetry(self.telemetry)
         self.original = adapter.original_module()
         arch = getattr(adapter, "arch", None)
         self.workload_id = workload_id or getattr(adapter, "name", type(adapter).__name__)
         self.arch_name = arch_name or (getattr(arch, "name", None) or "default")
         #: Number of actual adapter evaluations performed (cache misses executed).
         self.evaluations = 0
+        #: Wall-clock seconds spent inside executor batch dispatch.
+        self.batch_seconds = 0.0
+        self._created = time.perf_counter()
 
     # -- keys --------------------------------------------------------------------------
     def cache_key(self, edits: Sequence[Edit]) -> CacheKey:
@@ -322,9 +399,25 @@ class EvaluationEngine:
                 pending[key] = len(pending_sets)
                 pending_sets.append(edit_sets[index])
 
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            misses = sum(1 for result in results if result is None)
+            telemetry.counter("cache.hits").inc(len(results) - misses)
+            telemetry.counter("cache.misses").inc(misses)
+
         if pending_sets:
-            fresh = self.executor.run_batch(self.adapter, self.original, pending_sets)
+            start = time.perf_counter()
+            with telemetry.span("engine.batch", workload=self.workload_id,
+                                arch=self.arch_name, executor=self.executor.name,
+                                jobs=getattr(self.executor, "jobs", 1),
+                                batch=len(edit_sets),
+                                fresh=len(pending_sets)):
+                fresh = self.executor.run_batch(self.adapter, self.original,
+                                                pending_sets)
+            self.batch_seconds += time.perf_counter() - start
             self.evaluations += len(fresh)
+            telemetry.counter("engine.evaluations").inc(len(fresh))
+            telemetry.counter("engine.batches").inc()
             for key, slot in pending.items():
                 self.cache.put(key, fresh[slot])
             for index, key in enumerate(keys):
@@ -333,7 +426,8 @@ class EvaluationEngine:
             # Interval defaults to the cache store's own flush_interval:
             # rate-limited for the whole-file JSON tier, every batch for
             # the incremental SQLite tier.
-            self.cache.maybe_save()
+            if self.cache.maybe_save():
+                telemetry.counter("cache.flushes").inc()
 
         return results  # type: ignore[return-value]
 
@@ -358,10 +452,25 @@ class EvaluationEngine:
             executor=self.executor.name,
             jobs=getattr(self.executor, "jobs", 1),
             cache_size=len(self.cache),
+            wall_clock_seconds=time.perf_counter() - self._created,
+            evaluations_per_second=(self.evaluations / self.batch_seconds
+                                    if self.batch_seconds > 0 else 0.0),
         )
+
+    def record_stats_metrics(self) -> None:
+        """Snapshot :meth:`stats` into the telemetry metrics registry."""
+        if not self.telemetry.enabled:
+            return
+        stats = self.stats()
+        self.telemetry.gauge("engine.wall_clock_seconds").set(
+            stats.wall_clock_seconds)
+        self.telemetry.gauge("engine.evaluations_per_second").set(
+            stats.evaluations_per_second)
+        self.telemetry.gauge("engine.cache_size").set(stats.cache_size)
 
     def close(self) -> None:
         """Flush the cache, release its disk tier and stop the executor."""
+        self.record_stats_metrics()
         self.cache.close()
         self.executor.close()
 

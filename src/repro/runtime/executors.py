@@ -65,14 +65,14 @@ class AsyncExecutor(Executor):
     def __init__(self, jobs: int = 0):
         self.jobs = jobs if jobs >= 1 else default_jobs()
 
-    def run_batch(self, adapter: WorkloadAdapter, original,
-                  edit_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
+    def _run_batch(self, adapter: WorkloadAdapter, original,
+                   edit_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
         if len(edit_sets) <= 1 or self.jobs == 1:
             # A single evaluation gains nothing from the event loop.
             return SerialExecutor().run_batch(adapter, original, edit_sets)
-        return asyncio.run(self._run_batch(adapter, original, edit_sets))
+        return asyncio.run(self._run_batch_async(adapter, original, edit_sets))
 
-    async def _run_batch(self, adapter, original, edit_sets):
+    async def _run_batch_async(self, adapter, original, edit_sets):
         loop = asyncio.get_running_loop()
         semaphore = asyncio.Semaphore(self.jobs)
         pool = ThreadPoolExecutor(max_workers=self.jobs,
@@ -123,8 +123,8 @@ class ShardedExecutor(Executor):
         """Lane count (reported as ``jobs`` in :class:`EngineStats`)."""
         return self.shards
 
-    def run_batch(self, adapter: WorkloadAdapter, original,
-                  edit_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
+    def _run_batch(self, adapter: WorkloadAdapter, original,
+                   edit_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
         if len(edit_sets) <= 1 or self.shards == 1:
             return SerialExecutor().run_batch(adapter, original, edit_sets)
 

@@ -57,6 +57,7 @@ from ..gevo.config import GevoConfig
 from ..gpu import get_arch
 from .cache import FitnessCache, atomic_write_text
 from .engine import EvaluationEngine, make_executor
+from .telemetry import NULL_TELEMETRY, Telemetry, emit_module_hotspots
 
 #: Workloads a sweep can name, with their CLI aliases.
 WORKLOAD_CHOICES = ("toy", "adept-v1", "simcov")
@@ -211,6 +212,9 @@ class SweepReport:
 
     spec: Dict[str, object]
     rows: List[LegOutcome] = field(default_factory=list)
+    #: ``{"run_id": ..., "trace_dir": ...}`` when the sweep ran traced;
+    #: lets a report be joined with its event log and ``metrics.json``.
+    telemetry: Optional[Dict[str, object]] = None
 
     def totals(self) -> Dict[str, object]:
         return {
@@ -224,8 +228,11 @@ class SweepReport:
         }
 
     def to_dict(self) -> Dict[str, object]:
-        return {"spec": dict(self.spec), "totals": self.totals(),
+        data = {"spec": dict(self.spec), "totals": self.totals(),
                 "legs": [row.to_dict() for row in self.rows]}
+        if self.telemetry is not None:
+            data["telemetry"] = dict(self.telemetry)
+        return data
 
     def to_csv(self) -> str:
         buffer = io.StringIO()
@@ -276,6 +283,7 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
               reference_interpreter: bool = False,
               interpreter_tier: Optional[str] = None,
               progress: Optional[Callable[[SweepLeg, LegOutcome], None]] = None,
+              telemetry: Optional[Telemetry] = None,
               ) -> SweepReport:
     """Run (or resume) every leg of *spec* under *sweep_dir*.
 
@@ -291,7 +299,14 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
     An interruption (Ctrl-C, SIGKILL) loses at most the current round of
     the current leg: every leg checkpoints each round and every finished
     leg's record is written before the next leg starts.
+
+    With a *telemetry* handle the sweep emits one ``sweep.leg`` span per
+    leg (skipped legs included) plus per-leg
+    ``sweep.leg.<leg_id>.{evaluations,fresh_evaluations,cache_hits}``
+    counters that match the report rows exactly, and ``report.json``
+    gains a ``telemetry`` section naming the run id and trace directory.
     """
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     legs_dir = os.path.join(sweep_dir, "legs")
     checkpoints_dir = os.path.join(sweep_dir, "checkpoints")
     os.makedirs(legs_dir, exist_ok=True)
@@ -304,6 +319,8 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
     cache = FitnessCache(cache_path, backend=cache_backend, shards=cache_shards)
 
     report = SweepReport(spec=spec.to_dict())
+    telemetry.event("sweep.start", sweep_dir=str(sweep_dir), resume=resume,
+                    legs=len(spec.legs()), **spec.to_dict())
     try:
         for leg in spec.legs():
             result_path = os.path.join(legs_dir, leg.leg_id + ".json")
@@ -330,6 +347,8 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
                 outcome.fresh_evaluations = 0
                 outcome.wall_clock_seconds = 0.0
                 report.rows.append(outcome)
+                telemetry.event("sweep.leg", **_leg_fields(leg, outcome))
+                _record_leg_metrics(telemetry, leg, outcome)
                 if progress is not None:
                     progress(leg, outcome)
                 continue
@@ -340,13 +359,17 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
 
             resume_from = (checkpoint_path
                            if resume and os.path.exists(checkpoint_path) else None)
-            outcome = _run_leg(spec, leg, cache,
-                               jobs=jobs, executor_kind=executor_kind,
-                               checkpoint_path=checkpoint_path,
-                               checkpoint_every=checkpoint_every,
-                               resume_from=resume_from,
-                               reference_interpreter=reference_interpreter,
-                               interpreter_tier=interpreter_tier)
+            with telemetry.span("sweep.leg", leg_id=leg.leg_id) as leg_fields:
+                outcome = _run_leg(spec, leg, cache,
+                                   jobs=jobs, executor_kind=executor_kind,
+                                   checkpoint_path=checkpoint_path,
+                                   checkpoint_every=checkpoint_every,
+                                   resume_from=resume_from,
+                                   reference_interpreter=reference_interpreter,
+                                   interpreter_tier=interpreter_tier,
+                                   telemetry=telemetry)
+                leg_fields.update(_leg_fields(leg, outcome))
+            _record_leg_metrics(telemetry, leg, outcome)
             # The record carries the budget it was produced under so a
             # later --resume with a different budget is rejected loudly.
             record = dict(outcome.to_dict(), population=spec.population,
@@ -358,8 +381,32 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
     finally:
         cache.close()
 
+    telemetry.event("sweep.end", **report.totals())
+    if telemetry.enabled:
+        report.telemetry = {"run_id": telemetry.run_id,
+                            "trace_dir": telemetry.trace_dir}
     report.write(sweep_dir)
     return report
+
+
+def _leg_fields(leg: SweepLeg, outcome: LegOutcome) -> Dict[str, object]:
+    """The ``sweep.leg`` event payload (mirrors the report row exactly)."""
+    return {"leg_id": leg.leg_id, "workload": leg.workload, "arch": leg.arch,
+            "seed": leg.seed, "method": leg.method, "status": outcome.status,
+            "speedup": outcome.speedup, "evaluations": outcome.evaluations,
+            "fresh_evaluations": outcome.fresh_evaluations,
+            "cache_hits": outcome.cache_hits}
+
+
+def _record_leg_metrics(telemetry: Telemetry, leg: SweepLeg,
+                        outcome: LegOutcome) -> None:
+    """Per-leg evaluation totals, matching the report row bit-for-bit."""
+    if not telemetry.enabled:
+        return
+    prefix = f"sweep.leg.{leg.leg_id}"
+    telemetry.counter(prefix + ".evaluations").inc(outcome.evaluations)
+    telemetry.counter(prefix + ".fresh_evaluations").inc(outcome.fresh_evaluations)
+    telemetry.counter(prefix + ".cache_hits").inc(outcome.cache_hits)
 
 
 def _run_leg(spec: SweepSpec, leg: SweepLeg, cache: FitnessCache, *,
@@ -367,7 +414,8 @@ def _run_leg(spec: SweepSpec, leg: SweepLeg, cache: FitnessCache, *,
              checkpoint_path: str, checkpoint_every: Optional[int],
              resume_from: Optional[str],
              reference_interpreter: bool,
-             interpreter_tier: Optional[str] = None) -> LegOutcome:
+             interpreter_tier: Optional[str] = None,
+             telemetry: Telemetry = NULL_TELEMETRY) -> LegOutcome:
     """Execute one leg through the engine seam and summarise it."""
     from ..baselines import HillClimber, RandomSearch
     from ..gevo import GevoSearch
@@ -377,7 +425,8 @@ def _run_leg(spec: SweepSpec, leg: SweepLeg, cache: FitnessCache, *,
     config = spec.leg_config(leg)
     engine = EvaluationEngine(adapter,
                               executor=make_executor(jobs, executor_kind),
-                              cache=cache)
+                              cache=cache,
+                              telemetry=telemetry)
     hits_before = engine.cache_hits
     start = time.perf_counter()
     try:
@@ -408,6 +457,10 @@ def _run_leg(spec: SweepSpec, leg: SweepLeg, cache: FitnessCache, *,
         # and persist what the leg added.
         engine.executor.close()
         cache.maybe_save(0.0)
+
+    if telemetry.enabled:
+        emit_module_hotspots(telemetry, adapter, adapter.original_module(),
+                             label=leg.leg_id)
 
     return LegOutcome(
         workload=leg.workload,

@@ -54,3 +54,28 @@ def test_missing_or_corrupt_file_is_not_an_error(tmp_path):
     corrupt = tmp_path / "corrupt.json"
     corrupt.write_text("{nope")
     assert main([str(corrupt)]) == 0
+
+
+def test_run_id_tagged_entries_are_compared_and_surfaced(tmp_path, capsys):
+    # Entries written since the telemetry subsystem carry a run_id; the
+    # guard must keep comparing them and name the run in its output.
+    path = tmp_path / "bench.json"
+    runs = [
+        {"gate": "jit", "timestamp": "t0", "hot_loop": {"speedup": 10.0}},
+        {"gate": "jit", "timestamp": "t1", "run_id": "20260808T000000-abcd1234",
+         "hot_loop": {"speedup": 9.5}},
+    ]
+    path.write_text(json.dumps({"runs": runs}))
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "run 20260808T000000-abcd1234" in out
+
+
+def test_gate_is_unaffected_by_tracing_state(tmp_path):
+    # The acceptance bar for the observability PR: a run measured with
+    # tracing off must sit inside the same 20% guard band as before the
+    # telemetry layer existed -- identical speedups trivially pass, and a
+    # trace-induced slowdown beyond the band would fail.
+    path = tmp_path / "bench.json"
+    write_trajectory(path, [10.0, 10.0])
+    assert main([str(path)]) == 0

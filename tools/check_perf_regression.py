@@ -47,7 +47,12 @@ def speedups(runs: list, gate: str, metric: str) -> list:
         section = run.get(metric)
         if isinstance(section, dict) and isinstance(
                 section.get("speedup"), (int, float)):
-            values.append((run.get("timestamp", "?"), float(section["speedup"])))
+            # Newer entries carry the telemetry run id that ties a
+            # measurement to its trace; older ones predate it.
+            stamp = run.get("timestamp", "?")
+            if run.get("run_id"):
+                stamp = f"{stamp} run {run['run_id']}"
+            values.append((stamp, float(section["speedup"])))
     return values
 
 
