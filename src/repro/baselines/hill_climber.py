@@ -68,7 +68,8 @@ class HillClimber:
         self._budget = 0
         self._accepted = 0
         self._rejected = 0
-        self._evaluations_before_resume = 0
+        # Crash-exact evaluation accounting; created by run()/restore_checkpoint().
+        self._ledger = None
 
     def run(self, steps: Optional[int] = None, *,
             checkpoint_path: Optional[str] = None,
@@ -84,7 +85,8 @@ class HillClimber:
         budget; passing a conflicting ``steps`` raises
         :class:`~repro.errors.SearchError`.
         """
-        from ..runtime.checkpoint import resolve_checkpoint
+        from ..runtime.checkpoint import EvaluationLedger, resolve_checkpoint
+        from ..runtime.faultpoints import kill_point
         from ..runtime.telemetry import telemetry_of
 
         start = time.perf_counter()
@@ -92,7 +94,6 @@ class HillClimber:
         telemetry = telemetry_of(engine)
         budget = steps if steps is not None else (
             self.config.population_size * self.config.generations)
-        self._evaluations_before_resume = 0
         self._step = 0
         self._accepted = 0
         self._rejected = 0
@@ -100,7 +101,8 @@ class HillClimber:
         if resume_from is not None:
             checkpoint = resolve_checkpoint(resume_from, algorithm=self.algorithm,
                                             workload_id=engine.workload_id,
-                                            config=self.config)
+                                            config=self.config,
+                                            arch_name=engine.arch_name)
             self.restore_checkpoint(checkpoint)
             if steps is not None and self._budget != steps:
                 raise SearchError(
@@ -108,14 +110,23 @@ class HillClimber:
                     f"not {steps}; resume with the original budget (or start fresh)")
             budget = self._budget
             baseline = engine.baseline()
+            telemetry.event("search.resume_replay", algorithm=self.algorithm,
+                            round=self._step,
+                            evaluations=self._ledger.count,
+                            cached_entries=len(checkpoint.cache_entries))
         else:
             self._budget = budget
-            # Routed through the engine so the baseline lands in the shared
-            # cache (and therefore in every checkpoint).
+            # The ledger starts empty: evaluation counts are a pure
+            # function of the climb's timeline, not of how warm any
+            # shared cache happens to be, so a crash at *any* point
+            # (even before the first checkpoint) resumes to the same
+            # totals an uninterrupted climb reports.
+            self._ledger = EvaluationLedger()
             baseline = engine.baseline()
+            self._ledger.charge([engine.cache_key([]).to_string()])
             self._history = SearchHistory(baseline_runtime=baseline.runtime_ms)
             self._current = Individual()
-            self.evaluator.evaluate_individual(self._current)
+            self.evaluator.evaluate_individual(self._current, ledger=self._ledger)
         history = self._history
         current = self._current
         telemetry.event("search.start", algorithm=self.algorithm,
@@ -128,7 +139,9 @@ class HillClimber:
             if edit is None:
                 continue
             candidate = current.with_additional_edit(edit)
-            self.evaluator.evaluate_individual(candidate)
+            kill_point("search.round.spawned")
+            self.evaluator.evaluate_individual(candidate, ledger=self._ledger)
+            kill_point("search.round.evaluated")
             current_fitness = current.fitness if current.valid else math.inf
             candidate_fitness = candidate.fitness if candidate.valid else math.inf
             if candidate.valid and candidate_fitness < current_fitness:
@@ -145,21 +158,24 @@ class HillClimber:
                     "search.step", step=step, accepted=accepted,
                     best_fitness=current.fitness if current.valid else None,
                     edits=len(current.edits))
+            kill_point("search.round.scored")
             if checkpoint_path is not None and step % max(1, checkpoint_every) == 0:
                 self.capture_checkpoint().save(checkpoint_path)
                 telemetry.event("search.checkpoint", path=str(checkpoint_path),
                                 round=step)
+                kill_point("search.round.checkpointed")
         if checkpoint_path is not None:
             # Final state, regardless of the cadence: re-running the same
             # command resumes (and immediately finishes) instead of
             # repeating the tail since the last periodic checkpoint.
             self.capture_checkpoint().save(checkpoint_path)
+        kill_point("search.finished")
 
         telemetry.event(
             "search.end", algorithm=self.algorithm, steps=self._step,
             accepted=self._accepted, rejected=self._rejected,
             best_fitness=current.fitness if current.valid else None,
-            evaluations=self.evaluator.evaluations + self._evaluations_before_resume,
+            evaluations=self._ledger.count,
             wall_clock_seconds=time.perf_counter() - start)
         return HillClimbResult(
             best=current,
@@ -167,7 +183,7 @@ class HillClimber:
             baseline=baseline,
             accepted_edits=self._accepted,
             rejected_edits=self._rejected,
-            evaluations=self.evaluator.evaluations + self._evaluations_before_resume,
+            evaluations=self._ledger.count,
             wall_clock_seconds=time.perf_counter() - start,
         )
 

@@ -65,7 +65,8 @@ class RandomSearch:
         self._history: Optional[SearchHistory] = None
         self._generation = 0
         self._evaluated = 0
-        self._evaluations_before_resume = 0
+        # Crash-exact evaluation accounting; created by run()/restore_checkpoint().
+        self._ledger = None
 
     def _random_individual(self) -> Individual:
         length = self.rng.randint(1, self.max_edits_per_individual)
@@ -87,7 +88,8 @@ class RandomSearch:
         loaded checkpoint) continues an interrupted run instead of
         starting fresh.
         """
-        from ..runtime.checkpoint import resolve_checkpoint
+        from ..runtime.checkpoint import EvaluationLedger, resolve_checkpoint
+        from ..runtime.faultpoints import kill_point
         from ..runtime.telemetry import telemetry_of
 
         start = time.perf_counter()
@@ -95,7 +97,6 @@ class RandomSearch:
         telemetry = telemetry_of(engine)
         config = self.config
         budget = config.population_size * config.generations
-        self._evaluations_before_resume = 0
         self._generation = 0
         self._evaluated = 0
         self._best = None
@@ -103,13 +104,22 @@ class RandomSearch:
         if resume_from is not None:
             checkpoint = resolve_checkpoint(resume_from, algorithm=self.algorithm,
                                             workload_id=engine.workload_id,
-                                            config=config)
+                                            config=config,
+                                            arch_name=engine.arch_name)
             self.restore_checkpoint(checkpoint)
             baseline = engine.baseline()
+            telemetry.event("search.resume_replay", algorithm=self.algorithm,
+                            round=self._generation,
+                            evaluations=self._ledger.count,
+                            cached_entries=len(checkpoint.cache_entries))
         else:
-            # Routed through the engine so the baseline lands in the shared
-            # cache (and therefore in every checkpoint).
+            # The ledger starts empty: evaluation counts are a pure
+            # function of the sampling timeline, not of cache warmth, so
+            # a crash at *any* point (even before the first checkpoint)
+            # resumes to the same totals an uninterrupted run reports.
+            self._ledger = EvaluationLedger()
             baseline = engine.baseline()
+            self._ledger.charge([engine.cache_key([]).to_string()])
             self._history = SearchHistory(baseline_runtime=baseline.runtime_ms)
         history = self._history
         telemetry.event("search.start", algorithm=self.algorithm,
@@ -120,8 +130,10 @@ class RandomSearch:
         while self._evaluated < budget:
             batch = [self._random_individual()
                      for _ in range(min(generation_size, budget - self._evaluated))]
+            kill_point("search.round.spawned")
             # One concurrent wave per batch (parallel under a pool-backed engine).
-            self.evaluator.evaluate_population(batch)
+            self.evaluator.evaluate_population(batch, ledger=self._ledger)
+            kill_point("search.round.evaluated")
             self._evaluated += len(batch)
             self._generation += 1
             for individual in batch:
@@ -139,24 +151,27 @@ class RandomSearch:
                     mean_fitness=sum(valid) / len(valid) if valid else None,
                     valid_count=len(valid), stagnation=0,
                     evaluations=self._evaluated)
+            kill_point("search.round.scored")
             if checkpoint_path is not None and self._generation % max(1, checkpoint_every) == 0:
                 self.capture_checkpoint().save(checkpoint_path)
                 telemetry.event("search.checkpoint", path=str(checkpoint_path),
                                 round=self._generation)
+                kill_point("search.round.checkpointed")
         if checkpoint_path is not None:
             # Final state, regardless of the cadence (see HillClimber.run).
             self.capture_checkpoint().save(checkpoint_path)
+        kill_point("search.finished")
 
         telemetry.event(
             "search.end", algorithm=self.algorithm, generations=self._generation,
             best_fitness=self._best.fitness if self._best is not None else None,
-            evaluations=self.evaluator.evaluations + self._evaluations_before_resume,
+            evaluations=self._ledger.count,
             wall_clock_seconds=time.perf_counter() - start)
         return RandomSearchResult(
             best=self._best,
             history=history,
             baseline=baseline,
-            evaluations=self.evaluator.evaluations + self._evaluations_before_resume,
+            evaluations=self._ledger.count,
             wall_clock_seconds=time.perf_counter() - start,
         )
 

@@ -24,6 +24,7 @@ benchmark harness, so the CLI is simply another front end over
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -263,20 +264,45 @@ def _make_engine(adapter, arguments: argparse.Namespace,
         telemetry=telemetry)
 
 
-def _load_resume_checkpoint(arguments: argparse.Namespace,
-                            config: GevoConfig) -> tuple:
-    """The (checkpoint, config) pair for --resume, if the file exists."""
+def _load_resume_checkpoint(arguments: argparse.Namespace, config: GevoConfig,
+                            *, algorithm: str) -> Optional[SearchCheckpoint]:
+    """The checkpoint for --resume, if the file exists.
+
+    A checkpoint written by a different algorithm, on a different
+    architecture, or under a different configuration is rejected with a
+    :class:`~repro.errors.ReproError` naming exactly what differs.
+    (Earlier versions silently adopted the checkpoint's configuration,
+    which made a typo'd ``--seed`` resume a different run than the one
+    asked for; the search layer's ``resolve_checkpoint`` re-checks the
+    same invariants, so the CLI refusal is just the earlier, friendlier
+    surface for it.)
+    """
     if arguments.resume is None or not os.path.exists(arguments.resume):
-        return None, config
+        return None
     checkpoint = SearchCheckpoint.load(arguments.resume)
+    if checkpoint.algorithm != algorithm:
+        raise ReproError(
+            f"checkpoint {arguments.resume} was written by the "
+            f"{checkpoint.algorithm!r} search, not {algorithm!r}; use the "
+            "matching subcommand (or start fresh with a new checkpoint path)")
+    if checkpoint.arch_name is not None and checkpoint.arch_name != arguments.arch:
+        raise ReproError(
+            f"checkpoint {arguments.resume} was recorded on architecture "
+            f"{checkpoint.arch_name!r}, not {arguments.arch!r}; pass the "
+            "original --arch (or start fresh with a new checkpoint path)")
+    restored = checkpoint.restore_config()
+    if restored != config:
+        from .runtime.checkpoint import describe_config_mismatch
+
+        raise ReproError(
+            f"checkpoint {arguments.resume} was recorded with a different "
+            f"configuration ({describe_config_mismatch(checkpoint.config, dataclasses.asdict(config))}); "
+            "pass the original --population/--generations/--seed flags, or "
+            "start fresh with a new checkpoint path")
     _log.info(f"resuming from {arguments.resume} "
               f"(round {checkpoint.generation}, "
               f"{len(checkpoint.cache_entries)} cached fitness results)")
-    restored = checkpoint.restore_config()
-    if restored != config:
-        _log.info("note: resuming with the checkpoint's configuration; "
-                  "--population/--generations/--seed flags are ignored")
-    return checkpoint, restored
+    return checkpoint
 
 
 def _command_list() -> int:
@@ -312,8 +338,8 @@ def _command_search(arguments: argparse.Namespace) -> int:
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
+    resume_from = _load_resume_checkpoint(arguments, config, algorithm="gevo")
     engine = _make_engine(adapter, arguments, telemetry)
-    resume_from, config = _load_resume_checkpoint(arguments, config)
 
     _log.info(f"searching {adapter.name}: population={config.population_size}, "
               f"generations={config.generations}, executor={engine.executor.name}")
@@ -347,8 +373,10 @@ def _command_baseline(arguments: argparse.Namespace) -> int:
     config = GevoConfig.quick(seed=arguments.seed,
                               population_size=arguments.population,
                               generations=arguments.generations)
+    resume_from = _load_resume_checkpoint(
+        arguments, config,
+        algorithm="random_search" if arguments.method == "random" else "hill_climber")
     engine = _make_engine(adapter, arguments, telemetry)
-    resume_from, config = _load_resume_checkpoint(arguments, config)
 
     method = "random search" if arguments.method == "random" else "hill climbing"
     budget = (arguments.steps

@@ -150,9 +150,19 @@ class GenomeEvaluator:
     def cache_hits(self) -> int:
         return self.engine.cache_hits - self._hits_offset
 
-    def evaluate_individual(self, individual: Individual) -> FitnessResult:
-        """Evaluate *individual*, filling in its fitness/validity fields."""
+    def evaluate_individual(self, individual: Individual, *,
+                            ledger=None) -> FitnessResult:
+        """Evaluate *individual*, filling in its fitness/validity fields.
+
+        ``ledger`` is an optional
+        :class:`~repro.runtime.checkpoint.EvaluationLedger`; the
+        individual's canonical key is charged only after the evaluation
+        succeeds, so a crash mid-evaluation leaves nothing charged and
+        the replayed attempt charges it exactly once.
+        """
         result = self.engine.evaluate(individual.edits)
+        if ledger is not None:
+            ledger.charge([self.engine.cache_key(individual.edits).to_string()])
         individual.mark_evaluated(
             result.runtime_ms if result.valid else None, result.valid)
         return result
@@ -161,12 +171,21 @@ class GenomeEvaluator:
         """Evaluate one edit list (through the engine's cache)."""
         return self.engine.evaluate(edits)
 
-    def evaluate_population(self, population: Sequence[Individual]) -> None:
-        """Evaluate every unevaluated individual as one concurrent batch."""
+    def evaluate_population(self, population: Sequence[Individual], *,
+                            ledger=None) -> None:
+        """Evaluate every unevaluated individual as one concurrent batch.
+
+        With a ``ledger``, the batch's canonical keys are charged after
+        the batch evaluates (never on a raising batch): crash-exact
+        evaluation accounting for the checkpointable searches.
+        """
         pending = [ind for ind in population if ind.needs_evaluation()]
         if not pending:
             return
         results = self.engine.evaluate_many([ind.edits for ind in pending])
+        if ledger is not None:
+            ledger.charge(self.engine.cache_key(ind.edits).to_string()
+                          for ind in pending)
         for individual, result in zip(pending, results):
             individual.mark_evaluated(
                 result.runtime_ms if result.valid else None, result.valid)

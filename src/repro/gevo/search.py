@@ -89,7 +89,8 @@ class GevoSearch:
         self._generation = 0
         self._stagnation = 0
         self._history: Optional[SearchHistory] = None
-        self._evaluations_before_resume = 0
+        # Crash-exact evaluation accounting; created by run()/restore_checkpoint().
+        self._ledger = None
 
     # -- main loop -----------------------------------------------------------------------
     def run(self, *, validate_best: bool = False,
@@ -104,32 +105,43 @@ class GevoSearch:
         continues an interrupted run from its last checkpoint instead of
         starting fresh.
         """
-        from ..runtime.checkpoint import resolve_checkpoint
+        from ..runtime.checkpoint import EvaluationLedger, resolve_checkpoint
+        from ..runtime.faultpoints import kill_point
         from ..runtime.telemetry import telemetry_of
 
         config = self.config
         engine = self.evaluator.engine
         telemetry = telemetry_of(engine)
         start = time.perf_counter()
-        self._evaluations_before_resume = 0
         self._stagnation = 0
         self._generation = 0
 
         if resume_from is not None:
             checkpoint = resolve_checkpoint(resume_from, algorithm=self.algorithm,
                                             workload_id=engine.workload_id,
-                                            config=config)
+                                            config=config,
+                                            arch_name=engine.arch_name)
             self.restore_checkpoint(checkpoint)
             baseline = engine.baseline()
+            telemetry.event("search.resume_replay", algorithm=self.algorithm,
+                            round=self._generation,
+                            evaluations=self._ledger.count,
+                            cached_entries=len(checkpoint.cache_entries))
         else:
+            # The ledger starts empty: evaluation counts are a pure
+            # function of the search timeline, not of cache warmth, so a
+            # crash at *any* point (even before the first checkpoint)
+            # resumes to the same totals an uninterrupted run reports.
+            self._ledger = EvaluationLedger()
             baseline = engine.baseline()
             if not baseline.valid:
                 raise SearchError(
                     f"the unmodified program of workload {self.adapter.name!r} fails its own "
                     "test cases; fix the workload before searching")
+            self._ledger.charge([engine.cache_key([]).to_string()])
             self._history = SearchHistory(baseline_runtime=baseline.runtime_ms)
             self._population = seed_population(config.population_size)
-            self.evaluator.evaluate_population(self._population)
+            self.evaluator.evaluate_population(self._population, ledger=self._ledger)
             self._best = best_individual(self._population)
         history = self._history
         telemetry.event("search.start", algorithm=self.algorithm,
@@ -145,7 +157,9 @@ class GevoSearch:
             if config.stagnation_limit and self._stagnation >= config.stagnation_limit:
                 break
             self._population = self._next_generation(self._population)
-            self.evaluator.evaluate_population(self._population)
+            kill_point("search.round.spawned")
+            self.evaluator.evaluate_population(self._population, ledger=self._ledger)
+            kill_point("search.round.evaluated")
             generation_best = best_individual(self._population)
             if generation_best is not None and (
                     self._best is None
@@ -156,7 +170,7 @@ class GevoSearch:
                 self._stagnation += 1
             self._generation = generation
             history.record_generation(generation, self._population, self._best,
-                                      self.total_evaluations(self._evaluations_before_resume))
+                                      self._ledger.count)
             if telemetry.enabled:
                 valid = [ind.fitness for ind in self._population
                          if ind.valid and ind.fitness is not None]
@@ -165,18 +179,21 @@ class GevoSearch:
                     best_fitness=self._best.fitness if self._best is not None else None,
                     mean_fitness=sum(valid) / len(valid) if valid else None,
                     valid_count=len(valid), stagnation=self._stagnation,
-                    evaluations=self.total_evaluations(self._evaluations_before_resume))
+                    evaluations=self._ledger.count)
             if self.progress is not None:
                 self.progress(generation, history)
+            kill_point("search.round.scored")
             if checkpoint_path is not None and generation % max(1, checkpoint_every) == 0:
                 self.capture_checkpoint().save(checkpoint_path)
                 telemetry.event("search.checkpoint", path=str(checkpoint_path),
                                 round=generation)
+                kill_point("search.round.checkpointed")
         if checkpoint_path is not None:
             # Final state, regardless of the cadence: re-running the same
             # command resumes (and immediately finishes) instead of
             # repeating the tail since the last periodic checkpoint.
             self.capture_checkpoint().save(checkpoint_path)
+        kill_point("search.finished")
 
         validation = None
         if validate_best and self._best is not None:
@@ -187,20 +204,21 @@ class GevoSearch:
             "search.end", algorithm=self.algorithm,
             generations=self._generation,
             best_fitness=self._best.fitness if self._best is not None else None,
-            evaluations=self.total_evaluations(self._evaluations_before_resume),
+            evaluations=self._ledger.count,
             wall_clock_seconds=time.perf_counter() - start)
         return SearchResult(
             best=self._best,
             history=history,
             baseline=baseline,
             config=config,
-            evaluations=self.total_evaluations(self._evaluations_before_resume),
+            evaluations=self._ledger.count,
             wall_clock_seconds=time.perf_counter() - start,
             validation=validation,
         )
 
-    def total_evaluations(self, evaluations_before_resume: int = 0) -> int:
-        return self.evaluator.evaluations + evaluations_before_resume
+    def total_evaluations(self) -> int:
+        """Distinct edit sets this search has charged (crash-exact, see ledger)."""
+        return self._ledger.count if self._ledger is not None else 0
 
     # -- CheckpointableSearch ----------------------------------------------------------
     def capture_checkpoint(self):

@@ -28,7 +28,7 @@ from .analysis import (
 )
 from .builder import KernelBuilder, build_module
 from .function import BasicBlock, Function, Module, Param, SharedDecl
-from .instructions import Instruction, SourceLoc
+from .instructions import Instruction, SourceLoc, reset_uid_namespace
 from .opcodes import all_opcodes, is_known_opcode, opcode_info
 from .parser import parse_function, parse_module
 from .printer import format_function, format_instruction, format_module
@@ -63,6 +63,7 @@ __all__ = [
     "parse_function",
     "parse_module",
     "reachable_blocks",
+    "reset_uid_namespace",
     "static_instruction_mix",
     "verify_function",
     "verify_module",

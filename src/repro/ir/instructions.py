@@ -25,6 +25,25 @@ def next_uid() -> int:
     return next(_uid_counter)
 
 
+def reset_uid_namespace() -> None:
+    """Restart uid allocation at 1, as a freshly-started process would.
+
+    Checkpoints address instructions by uid, and uids are deterministic
+    only because every *process* rebuilds its modules from the same
+    counter start.  In-process crash simulation (see
+    :mod:`repro.runtime.faultpoints`) must call this between the
+    "killed" run and the "resumed" run so the resumed object graph gets
+    the same uid numbering a genuine restart would -- otherwise the
+    resumed modules drift and checkpointed edits address nothing.
+
+    Never call this while modules from the old namespace are still in
+    use: uid collisions between old and new instructions would corrupt
+    edit addressing.
+    """
+    global _uid_counter
+    _uid_counter = itertools.count(1)
+
+
 _mutation_counter = itertools.count(1)
 
 

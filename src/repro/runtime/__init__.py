@@ -47,6 +47,7 @@ from .cache import (
 )
 from .checkpoint import (
     CheckpointableSearch,
+    EvaluationLedger,
     SearchCheckpoint,
     deserialize_history,
     deserialize_individual,
@@ -54,6 +55,7 @@ from .checkpoint import (
     serialize_history,
     serialize_individual,
 )
+from .faultpoints import SimulatedCrash, kill_point
 from .engine import (
     EngineStats,
     EvaluationEngine,
@@ -103,6 +105,7 @@ __all__ = [
     "ConsoleReporter",
     "EngineStats",
     "EvaluationEngine",
+    "EvaluationLedger",
     "Executor",
     "FitnessCache",
     "JsonCacheStore",
@@ -113,6 +116,7 @@ __all__ = [
     "SearchCheckpoint",
     "SerialExecutor",
     "ShardedCacheStore",
+    "SimulatedCrash",
     "ShardedExecutor",
     "SqliteCacheStore",
     "SweepLeg",
@@ -129,6 +133,7 @@ __all__ = [
     "deserialize_history",
     "deserialize_individual",
     "emit_module_hotspots",
+    "kill_point",
     "load_metrics",
     "load_trace",
     "make_adapter",

@@ -104,7 +104,7 @@ def shard_index(edit_hash: str, shards: int) -> int:
     return int(edit_hash[:8], 16) % max(1, shards)
 
 
-def _atomic_write(path: str, writer) -> None:
+def _atomic_write(path: str, writer, *, durable: bool = False) -> None:
     """Run *writer(handle)* against a temp file, then rename over *path*.
 
     A crash mid-write never damages an existing file at *path*; readers
@@ -112,6 +112,17 @@ def _atomic_write(path: str, writer) -> None:
     implementation behind the JSON cache tier, checkpoints, the
     sharded-store manifest and the sweep record/report writers (pinned
     by the crash tests in ``tests/runtime/test_durability.py``).
+
+    With ``durable=True`` the temp file is fsynced before the rename and
+    the containing directory after it, so the new content (and the
+    directory entry pointing at it) survive a *power loss*, not just a
+    process kill.  Plain rename-atomicity only guarantees that some
+    whole version of the file exists after a crash; without the fsyncs
+    the filesystem may journal the rename before the data blocks,
+    leaving a zero-length or truncated file after power failure.
+    Checkpoints opt in (irreplaceable search state); cache flushes do
+    not (disposable acceleration state -- losing a flush only costs
+    re-evaluation).
     """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
@@ -119,21 +130,42 @@ def _atomic_write(path: str, writer) -> None:
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
             writer(handle)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(temp_path, path)
+        if durable:
+            _fsync_directory(directory)
     except BaseException:
         if os.path.exists(temp_path):
             os.unlink(temp_path)
         raise
 
 
-def atomic_write_text(path: str, text: str) -> None:
+def _fsync_directory(directory: str) -> None:
+    """Persist a directory's entries (i.e. a just-completed rename)."""
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms that cannot open directories; best effort
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
+
+
+def atomic_write_text(path: str, text: str, *, durable: bool = False) -> None:
     """Atomically write *text* to *path* (tmp file + rename)."""
-    _atomic_write(path, lambda handle: handle.write(text))
+    _atomic_write(path, lambda handle: handle.write(text), durable=durable)
 
 
-def atomic_write_json(path: str, document, **dump_kwargs) -> None:
+def atomic_write_json(path: str, document, *, durable: bool = False,
+                      **dump_kwargs) -> None:
     """Atomically serialise *document* as JSON to *path* (streaming)."""
-    _atomic_write(path, lambda handle: json.dump(document, handle, **dump_kwargs))
+    _atomic_write(path, lambda handle: json.dump(document, handle, **dump_kwargs),
+                  durable=durable)
 
 
 @dataclass(frozen=True)

@@ -38,14 +38,16 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import SearchError
 from ..gevo.config import GevoConfig
 from ..gevo.edits import Edit, edit_from_dict
 from ..gevo.genome import Individual
 from ..gevo.history import GenerationRecord, SearchHistory
+from .faultpoints import kill_point
 
 #: Version 2 added the ``algorithm`` discriminator and moved the
 #: gevo-specific fields (population, generation, stagnation, best) into
@@ -164,6 +166,22 @@ class SearchCheckpoint:
     #: individuals ...); the owning search defines its shape.
     state: Dict[str, object] = field(default_factory=dict)
     cache_entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Cache keys of every edit set *this search* has submitted -- the
+    #: :class:`EvaluationLedger`'s known set.  Recorded separately from
+    #: ``cache_entries`` because the two answer different questions: the
+    #: cache snapshot is "what results are on hand" (and in a sweep's
+    #: shared cache it includes sibling legs' entries -- keys are
+    #: namespaced by workload+arch, not seed), while the ledger set is
+    #: "what this timeline has been charged for".  Seeding a resumed
+    #: ledger from ``cache_entries`` would mark sibling legs' entries
+    #: pre-known and undercount the replay; ``None`` (legacy checkpoints)
+    #: falls back to that approximation, which is exact for unshared
+    #: caches.
+    ledger_keys: Optional[List[str]] = None
+    #: Architecture the run evaluated on.  Optional for backward
+    #: compatibility (pre-crash-exactness checkpoints lack it); when
+    #: present, resume refuses a mismatched architecture.
+    arch_name: Optional[str] = None
     version: int = CHECKPOINT_FORMAT_VERSION
 
     # -- construction ------------------------------------------------------------------
@@ -172,6 +190,8 @@ class SearchCheckpoint:
                 rng_state, evaluations: int, history: SearchHistory,
                 baseline_runtime: float, state: Dict[str, object],
                 cache_entries: Optional[Dict[str, Dict[str, object]]] = None,
+                ledger_keys: Optional[Iterable[str]] = None,
+                arch_name: Optional[str] = None,
                 ) -> "SearchCheckpoint":
         return cls(
             algorithm=algorithm,
@@ -183,6 +203,8 @@ class SearchCheckpoint:
             baseline_runtime=baseline_runtime,
             state=dict(state),
             cache_entries=dict(cache_entries or {}),
+            ledger_keys=None if ledger_keys is None else sorted(ledger_keys),
+            arch_name=arch_name,
         )
 
     # -- restoration -------------------------------------------------------------------
@@ -230,10 +252,18 @@ class SearchCheckpoint:
         return cls(**{key: value for key, value in data.items() if key in fields})
 
     def save(self, path: str) -> None:
-        """Atomically write the checkpoint to *path* (tmp file + rename)."""
+        """Durably and atomically write the checkpoint to *path*.
+
+        Beyond the tmp-file-plus-rename every writer in the runtime uses,
+        a checkpoint fsyncs the tmp file before the rename and the
+        containing directory after it: checkpoints are the one file class
+        whose loss is *irreplaceable* (hours of search), so they must
+        survive power loss, not just process death.
+        """
         from .cache import atomic_write_json
 
-        atomic_write_json(path, self.to_dict())
+        kill_point("checkpoint.save")
+        atomic_write_json(path, self.to_dict(), durable=True)
 
     @classmethod
     def load(cls, path: str) -> "SearchCheckpoint":
@@ -241,13 +271,24 @@ class SearchCheckpoint:
 
         Unlike the fitness cache, a checkpoint is irreplaceable search
         state -- a damaged file must surface loudly, not be silently
-        treated as empty.
+        treated as empty.  A torn or truncated file (unparseable JSON)
+        is set aside as ``<path>.corrupt`` -- the same convention the
+        SQLite cache tier uses -- so a retried ``--resume`` against the
+        same path starts fresh instead of tripping over the wreck
+        forever, while the damaged bytes stay on disk for forensics.
         """
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
         except ValueError as exc:
-            raise SearchError(f"checkpoint {path!r} is not valid JSON: {exc}") from exc
+            corrupt_path = path + ".corrupt"
+            try:
+                os.replace(path, corrupt_path)
+                aside = f"; the damaged file was set aside as {corrupt_path!r}"
+            except OSError:
+                aside = ""
+            raise SearchError(
+                f"checkpoint {path!r} is not valid JSON: {exc}{aside}") from exc
         except OSError as exc:
             raise SearchError(f"cannot read checkpoint {path!r}: {exc}") from exc
         try:
@@ -256,6 +297,78 @@ class SearchCheckpoint:
             raise SearchError(
                 f"checkpoint {path!r} is malformed (missing or mistyped field: {exc})"
             ) from exc
+
+
+# -- crash-exact evaluation accounting -----------------------------------------------
+
+class EvaluationLedger:
+    """Timeline-deterministic evaluation counter shared by all searches.
+
+    The old accounting ("executed cache misses on this engine, plus the
+    checkpoint's count on resume") was *invocation*-relative: a SIGKILL
+    between a persistent-cache flush and the round checkpoint left
+    freshly flushed results on disk that the resumed process then served
+    from cache, so the replayed round executed fewer misses than the
+    original and the final evaluation count diverged (the root cause of
+    the long-xfailed ``test_sigkill_resume``).
+
+    The ledger counts what the *paper* counts instead: distinct edit
+    sets this search has submitted for evaluation since it began.  That
+    quantity is a pure function of the search timeline -- independent of
+    how warm any cache happens to be -- so the reported evaluation count
+    is identical whether the run went uninterrupted, was killed and
+    resumed from a checkpoint, or was killed *before its first
+    checkpoint* and restarted fresh against a partially-warmed disk
+    cache.  (For a cold-start search the ledger agrees exactly with the
+    old executed-miss numbers; only warm-cache starts differ, and there
+    the old numbers were an artifact of cache state, not of the search.)
+    """
+
+    def __init__(self, known_keys: Iterable[str] = (), count: int = 0):
+        self._known: Set[str] = set(known_keys)
+        #: Evaluations charged so far (cumulative across resumes).
+        self.count = count
+
+    @classmethod
+    def from_checkpoint(cls, checkpoint: "SearchCheckpoint") -> "EvaluationLedger":
+        """Resume ledger from the checkpoint's recorded submitted-key set.
+
+        Deliberately *not* the live cache: after a crash the disk tier
+        may hold results flushed during the half-finished round, and
+        treating those as pre-known would skip charging the replayed
+        round -- the exact divergence this class exists to fix.  And not
+        the checkpoint's ``cache_entries`` either: in a sweep's shared
+        cache that snapshot carries sibling legs' entries (keys are
+        namespaced by workload+arch, not seed), and marking those
+        pre-known undercounts every post-resume submission of an edit
+        set a sibling happened to evaluate first.  The checkpoint's
+        ``ledger_keys`` field is exactly the set this timeline had been
+        charged for at the round boundary; legacy checkpoints without it
+        fall back to ``cache_entries``, which is equivalent whenever the
+        cache was not shared.
+        """
+        known = (checkpoint.cache_entries.keys()
+                 if checkpoint.ledger_keys is None else checkpoint.ledger_keys)
+        return cls(known_keys=known, count=checkpoint.evaluations)
+
+    def charge(self, keys: Iterable[str]) -> int:
+        """Charge each not-yet-known key once; returns how many were new.
+
+        Call with the canonical cache-key strings of one submitted batch
+        *after* the batch evaluates successfully (a crashed batch is
+        replayed and charged on resume instead).
+        """
+        new = 0
+        for key in keys:
+            if key not in self._known:
+                self._known.add(key)
+                new += 1
+        self.count += new
+        return new
+
+    def known_keys(self) -> List[str]:
+        """The charged-key set, sorted for stable checkpoint serialisation."""
+        return sorted(self._known)
 
 
 # -- the resumable-search contract ---------------------------------------------------
@@ -272,7 +385,7 @@ class CheckpointableSearch:
 
     Conforming searches expose ``config``, ``rng``, an ``evaluator``
     (whose engine owns the cache), a recorded ``_history`` and an
-    ``_evaluations_before_resume`` offset; with those in place the
+    :class:`EvaluationLedger` at ``_ledger``; with those in place the
     algorithm-agnostic plumbing is handled by
     :func:`capture_search_checkpoint` / :func:`restore_search_checkpoint`
     and only the ``state`` payload is per-algorithm.
@@ -301,7 +414,7 @@ def capture_search_checkpoint(search, state: Dict[str, object]) -> SearchCheckpo
         workload_id=engine.workload_id,
         config=search.config,
         rng_state=search.rng.getstate(),
-        evaluations=search.evaluator.evaluations + search._evaluations_before_resume,
+        evaluations=search._ledger.count,
         history=search._history,
         baseline_runtime=search._history.baseline_runtime,
         state=state,
@@ -310,32 +423,40 @@ def capture_search_checkpoint(search, state: Dict[str, object]) -> SearchCheckpo
         # leg's entries into each of its checkpoints.
         cache_entries=engine.cache.export_entries(
             workload_id=engine.workload_id, arch_name=engine.arch_name),
+        # The ledger's own submitted set, NOT the cache snapshot above:
+        # under a sweep's shared cache the snapshot includes sibling
+        # legs' entries, which must not be treated as pre-charged on
+        # resume (see EvaluationLedger.from_checkpoint).
+        ledger_keys=search._ledger.known_keys(),
+        arch_name=engine.arch_name,
     )
 
 
 def restore_search_checkpoint(search, checkpoint: SearchCheckpoint) -> None:
     """The algorithm-agnostic half of ``restore_checkpoint``.
 
-    Re-imports the cache, history, evaluation offset and RNG state; the
+    Re-imports the cache, history, evaluation ledger and RNG state; the
     caller then applies its own ``state`` payload.
     """
     engine = search.evaluator.engine
     engine.cache.import_entries(checkpoint.cache_entries)
     search._history = checkpoint.restore_history()
-    search._evaluations_before_resume = checkpoint.evaluations
+    search._ledger = EvaluationLedger.from_checkpoint(checkpoint)
     search.rng.setstate(checkpoint.restore_rng_state())
 
 
 def resolve_checkpoint(resume_from: Union[str, SearchCheckpoint], *,
                        algorithm: str, workload_id: str,
-                       config: GevoConfig) -> SearchCheckpoint:
+                       config: GevoConfig,
+                       arch_name: Optional[str] = None) -> SearchCheckpoint:
     """Load and validate a checkpoint for one specific resume request.
 
     ``resume_from`` may be a path or an already-loaded checkpoint.  The
     checkpoint must have been written by the same *algorithm*, for the
-    same *workload*, under the same *config*; any mismatch raises
-    :class:`SearchError` (resuming under different settings would silently
-    produce a run that matches neither the old nor a fresh one).
+    same *workload* (and *arch*, when both sides record one), under the
+    same *config*; any mismatch raises :class:`SearchError` (resuming
+    under different settings would silently produce a run that matches
+    neither the old nor a fresh one).
     """
     checkpoint = (SearchCheckpoint.load(resume_from)
                   if isinstance(resume_from, str) else resume_from)
@@ -347,8 +468,31 @@ def resolve_checkpoint(resume_from: Union[str, SearchCheckpoint], *,
         raise SearchError(
             f"checkpoint belongs to workload {checkpoint.workload_id!r}, "
             f"not {workload_id!r}")
+    if (arch_name is not None and checkpoint.arch_name is not None
+            and checkpoint.arch_name != arch_name):
+        raise SearchError(
+            f"checkpoint was recorded on architecture {checkpoint.arch_name!r}, "
+            f"not {arch_name!r}; resume with the original --arch (or start fresh)")
     if checkpoint.restore_config() != config:
         raise SearchError(
-            "checkpoint was recorded with a different configuration; resume with "
-            "the original configuration (or start a fresh search)")
+            "checkpoint was recorded with a different configuration "
+            f"({describe_config_mismatch(checkpoint.config, dataclasses.asdict(config))}); "
+            "resume with the original configuration (or start a fresh search)")
     return checkpoint
+
+
+def describe_config_mismatch(recorded: Dict[str, object],
+                             requested: Dict[str, object]) -> str:
+    """Name exactly which config fields differ between checkpoint and request.
+
+    A silent resume into a mismatched run produces results matching
+    neither the old run nor a fresh one, so the refusal must tell the
+    user *which* flag to fix (``seed 7 -> 9``), not just that something
+    differs.
+    """
+    differences = []
+    for name in sorted(set(recorded) | set(requested)):
+        old, new = recorded.get(name, "<absent>"), requested.get(name, "<absent>")
+        if old != new:
+            differences.append(f"{name}: checkpoint has {old!r}, requested {new!r}")
+    return "; ".join(differences) if differences else "fields differ in type only"

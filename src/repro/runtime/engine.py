@@ -35,6 +35,7 @@ from ..gevo.edits import Edit, edit_from_dict
 from ..gevo.fitness import FitnessResult, WorkloadAdapter
 from ..gevo.genome import apply_edits
 from .cache import CacheKey, FitnessCache, canonical_edit_hash
+from .faultpoints import kill_point
 from .telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
@@ -428,6 +429,10 @@ class EvaluationEngine:
             # the incremental SQLite tier.
             if self.cache.maybe_save():
                 telemetry.counter("cache.flushes").inc()
+            # The nastiest crash window for resume determinism: results
+            # are flushed to the persistent cache, but the round that
+            # produced them has not been checkpointed yet.
+            kill_point("engine.batch.cached")
 
         return results  # type: ignore[return-value]
 

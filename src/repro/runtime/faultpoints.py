@@ -1,0 +1,148 @@
+"""Deterministic kill points for crash-exactness testing.
+
+The checkpoint/resume guarantee ("a resumed run reproduces the
+uninterrupted run bit-for-bit") is only as strong as the worst place a
+process can die.  A timer-based SIGKILL exercises *one* lucky spot per
+test run; this module instead threads named **kill points** through the
+round loops (``search.round.*``), the engine's post-flush window
+(``engine.batch.cached``), checkpoint writes (``checkpoint.save``) and
+the sweep orchestrator (``sweep.leg.*``), so a test can crash the run at
+*every* interesting point, deterministically, and assert that resume is
+exact from each one.
+
+Two ways to arm a kill point:
+
+* **In-process** (tier-1 tests): :func:`arm` a ``(point, occurrence)``
+  pair; the Nth time that point is hit, :class:`SimulatedCrash` is
+  raised.  It derives from :class:`BaseException` so no ``except
+  Exception`` handler between the kill point and the test can swallow
+  it -- the same "nothing runs after this" property a real SIGKILL has.
+  The test then discards every in-memory object (as process death
+  would) and resumes from the on-disk state with a fresh object graph.
+* **Cross-process** (slow-tier and CI e2e): set the environment
+  variable :data:`ENV_VAR` (``REPRO_KILL_POINT``) to ``"<point>"`` or
+  ``"<point>:<occurrence>"`` before launching the CLI; the armed
+  process sends itself a real ``SIGKILL`` at that hit -- an
+  uncooperative death at a deterministic program point.
+
+When nothing is armed, :func:`kill_point` is one module-level attribute
+check; the hot simulator paths carry no kill points at all (the
+instrumented sites are per-round / per-batch, not per-instruction).
+
+:func:`observe` arms a counting-only pass: nothing fires, but
+:func:`hit_counts` afterwards reports how often each point was reached,
+which is how the crash battery in ``tests/runtime/test_crash_resume.py``
+enumerates every (point, occurrence) pair for a given scenario instead
+of hard-coding a schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "ENV_VAR",
+    "SimulatedCrash",
+    "arm",
+    "disarm",
+    "hit_counts",
+    "kill_point",
+    "observe",
+]
+
+#: ``REPRO_KILL_POINT="search.round.scored:25"`` makes the process
+#: SIGKILL itself the 25th time that point is reached.
+ENV_VAR = "REPRO_KILL_POINT"
+
+
+class SimulatedCrash(BaseException):
+    """An armed kill point fired.
+
+    Derives from :class:`BaseException` (like ``SystemExit``) so the
+    crash propagates through ``except Exception`` fault handlers exactly
+    the way a real SIGKILL would bypass them: no code between the kill
+    point and the test harness gets to run, retry, or checkpoint.
+    """
+
+
+#: Module state of the (single) armed kill point.  Searches are
+#: single-threaded per process, so plain module globals suffice.
+active: bool = False
+_point: Optional[str] = None
+_occurrence: int = 1
+_action: Optional[Callable[[str], None]] = None
+_hits: Dict[str, int] = {}
+
+
+def _raise_simulated_crash(point: str) -> None:
+    raise SimulatedCrash(f"kill point {point!r} fired")
+
+
+def _sigkill_self(point: str) -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def arm(point: str, occurrence: int = 1,
+        action: Optional[Callable[[str], None]] = None) -> None:
+    """Arm *point* to fire on its *occurrence*-th hit.
+
+    ``action`` defaults to raising :class:`SimulatedCrash`; the
+    environment-variable path arms :func:`_sigkill_self` instead.
+    Arming resets the hit counters, so occurrences are counted from the
+    run under test, not from whatever ran before.
+    """
+    global active, _point, _occurrence, _action
+    if occurrence < 1:
+        raise ValueError(f"kill-point occurrence must be >= 1, got {occurrence}")
+    _point = point
+    _occurrence = occurrence
+    _action = action or _raise_simulated_crash
+    _hits.clear()
+    active = True
+
+
+def observe() -> None:
+    """Count kill-point hits without ever firing (see :func:`hit_counts`)."""
+    global active, _point, _action
+    _point = None
+    _action = None
+    _hits.clear()
+    active = True
+
+
+def disarm() -> None:
+    """Return to the inert default; idempotent."""
+    global active, _point, _action
+    active = False
+    _point = None
+    _action = None
+    _hits.clear()
+
+
+def hit_counts() -> Dict[str, int]:
+    """Hits per point since the last :func:`arm`/:func:`observe`."""
+    return dict(_hits)
+
+
+def kill_point(name: str) -> None:
+    """Declare an interesting crash site; a no-op unless armed."""
+    if not active:
+        return
+    _hits[name] = _hits.get(name, 0) + 1
+    if name == _point and _hits[name] == _occurrence:
+        _action(name)
+
+
+def _load_from_environment() -> None:
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return
+    point, _, occurrence = spec.partition(":")
+    arm(point, int(occurrence) if occurrence else 1, _sigkill_self)
+
+
+# The CLI (and any subprocess test) arms via the environment at import
+# time, before the first round runs.
+_load_from_environment()

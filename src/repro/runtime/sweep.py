@@ -57,6 +57,7 @@ from ..gevo.config import GevoConfig
 from ..gpu import get_arch
 from .cache import FitnessCache, atomic_write_text
 from .engine import EvaluationEngine, make_executor
+from .faultpoints import kill_point
 from .telemetry import NULL_TELEMETRY, Telemetry, emit_module_hotspots
 
 #: Workloads a sweep can name, with their CLI aliases.
@@ -370,11 +371,16 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
                                    telemetry=telemetry)
                 leg_fields.update(_leg_fields(leg, outcome))
             _record_leg_metrics(telemetry, leg, outcome)
+            # Crash window: the leg's final checkpoint is on disk but its
+            # result record is not -- a resumed sweep re-enters the leg,
+            # which immediately finishes from the checkpoint.
+            kill_point("sweep.leg.completed")
             # The record carries the budget it was produced under so a
             # later --resume with a different budget is rejected loudly.
             record = dict(outcome.to_dict(), population=spec.population,
                           generations=spec.generations)
             atomic_write_text(result_path, json.dumps(record, indent=2) + "\n")
+            kill_point("sweep.leg.recorded")
             report.rows.append(outcome)
             if progress is not None:
                 progress(leg, outcome)
@@ -419,7 +425,17 @@ def _run_leg(spec: SweepSpec, leg: SweepLeg, cache: FitnessCache, *,
     """Execute one leg through the engine seam and summarise it."""
     from ..baselines import HillClimber, RandomSearch
     from ..gevo import GevoSearch
+    from ..ir import reset_uid_namespace
 
+    # Each leg rebuilds its modules in a fresh uid namespace.  Edits (and
+    # therefore checkpoints and cache keys) address instructions by uid,
+    # so a leg's numbering must not depend on how many modules the
+    # invocation happened to build before it: a resumed sweep skips
+    # finished legs without constructing their adapters, and without the
+    # reset the resumed leg's modules would sit at a shifted counter the
+    # checkpoint's edits no longer address.  Legs run sequentially and
+    # never touch a previous leg's modules, so the reset is safe here.
+    reset_uid_namespace()
     adapter = make_adapter(leg.workload, leg.arch, reference_interpreter,
                            interpreter_tier=interpreter_tier)
     config = spec.leg_config(leg)

@@ -45,6 +45,18 @@ class TestCheckpointRoundTrip:
         with pytest.raises(SearchError, match="not valid JSON"):
             SearchCheckpoint.load(str(path))
 
+    def test_torn_checkpoint_is_set_aside_for_forensics(self, tmp_path):
+        # A torn file must not wedge the checkpoint path: load() renames
+        # it to <path>.corrupt so a retried run starts fresh while the
+        # damaged bytes stay on disk for inspection.
+        path = tmp_path / "ckpt.json"
+        path.write_text("{broken")
+        with pytest.raises(SearchError, match="set aside"):
+            SearchCheckpoint.load(str(path))
+        assert not path.exists()
+        corpse = tmp_path / "ckpt.json.corrupt"
+        assert corpse.read_text() == "{broken"
+
 
 class TestResume:
     def _interrupted_run(self, adapter, path, stop_at):
@@ -93,6 +105,39 @@ class TestResume:
         other = GevoConfig.quick(**dict(CONFIG, seed=99))
         with pytest.raises(SearchError):
             GevoSearch(adapter, other).run(resume_from=path)
+
+    def test_config_mismatch_error_names_the_differing_field(
+            self, adapter, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        self._interrupted_run(adapter, path, stop_at=2)
+        other = GevoConfig.quick(**dict(CONFIG, seed=99))
+        with pytest.raises(SearchError,
+                           match=r"seed: checkpoint has 33, requested 99"):
+            GevoSearch(adapter, other).run(resume_from=path)
+
+    def test_resume_rejects_architecture_mismatch(self, adapter, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        self._interrupted_run(adapter, path, stop_at=2)
+        checkpoint = SearchCheckpoint.load(path)
+        checkpoint.arch_name = "V100"
+        checkpoint.save(path)
+        config = GevoConfig.quick(**CONFIG)
+        with pytest.raises(SearchError, match="architecture 'V100'"):
+            GevoSearch(adapter, config).run(resume_from=path)
+
+    def test_checkpoint_without_arch_field_still_resumes(
+            self, adapter, tmp_path):
+        # Checkpoints written before the arch field existed carry None;
+        # the architecture check is skipped rather than rejecting them.
+        path = str(tmp_path / "ckpt.json")
+        self._interrupted_run(adapter, path, stop_at=3)
+        document = json.loads(open(path).read())
+        document.pop("arch_name")
+        open(path, "w").write(json.dumps(document))
+        config = GevoConfig.quick(**CONFIG)
+        resumed = GevoSearch(adapter, config).run(resume_from=path)
+        uninterrupted = GevoSearch(adapter, config).run()
+        assert resumed.evaluations == uninterrupted.evaluations
 
     def test_resume_rejects_workload_mismatch(self, adapter, tmp_path):
         path = str(tmp_path / "ckpt.json")

@@ -166,3 +166,38 @@ class TestCheckpointWriteCrash:
         after = SearchCheckpoint.load(path)  # still the intact previous file
         assert after.generation == before.generation
         assert after.cache_entries == before.cache_entries
+
+
+class TestFsyncPolicy:
+    def _record_fsyncs(self, monkeypatch):
+        synced = []
+        original = os.fsync
+        monkeypatch.setattr(cache_module.os, "fsync",
+                            lambda fd: (synced.append(fd), original(fd))[1])
+        return synced
+
+    def test_durable_write_fsyncs_data_and_directory(self, tmp_path, monkeypatch):
+        # Checkpoints must survive power loss, not just process death:
+        # one fsync pins the temp file's data blocks before the rename,
+        # a second pins the directory entry after it.
+        synced = self._record_fsyncs(monkeypatch)
+        cache_module.atomic_write_json(str(tmp_path / "ckpt.json"),
+                                       {"k": "v"}, durable=True)
+        assert len(synced) == 2
+
+    def test_cache_flush_skips_the_fsyncs(self, tmp_path, monkeypatch):
+        # Cache flushes are disposable acceleration state; they keep
+        # rename-atomicity but pay no fsync on the hot path.
+        synced = self._record_fsyncs(monkeypatch)
+        cache_module.atomic_write_json(str(tmp_path / "cache.json"), {"k": "v"})
+        assert synced == []
+
+    def test_checkpoint_save_is_durable(self, tmp_path, monkeypatch):
+        from repro.runtime import SearchCheckpoint
+
+        synced = self._record_fsyncs(monkeypatch)
+        checkpoint = SearchCheckpoint(
+            algorithm="gevo", workload_id="toy", config={}, rng_state=[],
+            evaluations=0, history={}, baseline_runtime=1.0)
+        checkpoint.save(str(tmp_path / "ckpt.json"))
+        assert len(synced) == 2
