@@ -53,6 +53,16 @@ JIT_HOT_LOOP_MIN_SPEEDUP = 8.0
 #: ADEPT and SIMCoV workloads (measured ~1.35-1.55x).
 JIT_WORKLOAD_MIN_SPEEDUP = 1.3
 
+#: Required JIT-tier speedup over the oracle on the *pricing-bound* loop
+#: (every iteration is memory accesses, so the fused bounds/pricing path
+#: dominates; measured ~8-9x, 5.0 leaves noise headroom).
+MEMORY_PRICING_MIN_SPEEDUP_VS_ORACLE = 5.0
+
+#: And over the dispatch tier on the same loop (measured ~3.5-4x): the
+#: inlined per-segment pricing + identity memo against the shared
+#: ``price_access`` seam.
+MEMORY_PRICING_MIN_SPEEDUP_VS_DISPATCH = 2.0
+
 
 @pytest.fixture(scope="module")
 def device():
@@ -308,3 +318,104 @@ def test_jit_speedup_gate():
     assert simcov_dispatch / simcov_jit >= JIT_WORKLOAD_MIN_SPEEDUP, (
         f"SIMCoV JIT below floor vs dispatch: "
         f"{simcov_dispatch / simcov_jit:.2f}x")
+
+
+# --------------------------------------------------------------------------- memory-pricing gate
+def build_memory_loop_module():
+    """A pricing-bound kernel: the hot loop is almost all memory accesses.
+
+    Every iteration does two global and two shared accesses on
+    loop-invariant addressing, so wall-clock is dominated by the bounds
+    check + coalescing/bank-conflict pricing -- the stack the arch-aware
+    vectorization (fused ``check_bounds_stats``, inlined per-segment
+    pricing, identity memo) targets.
+    """
+    from repro.ir.function import SharedDecl
+
+    b = KernelBuilder("memhot", params=[Param("x", "buffer"), Param("out", "buffer"),
+                                        Param("n", "scalar")],
+                      shared=[SharedDecl("tile", 64)])
+    b.block("entry")
+    tid = b.tid_x()
+    bid = b.bid_x()
+    bdim = b.bdim_x()
+    gid = b.add(b.mul(bid, bdim), tid, dest="gid")
+    b.store(b.reg("tile"), tid, b.load(b.reg("x"), gid))
+    b.mov(b.const(0.0), dest="acc")
+    with b.for_range("i", 0, b.reg("n")):
+        v = b.load(b.reg("x"), b.reg("gid"), dest="v")
+        b.store(b.reg("tile"), tid, b.add(v, b.reg("acc")))
+        w = b.load(b.reg("tile"), tid, dest="w")
+        b.add(b.reg("acc"), w, dest="acc")
+        b.store(b.reg("out"), b.reg("gid"), b.reg("acc"))
+    b.store(b.reg("out"), b.reg("gid"), b.reg("acc"))
+    b.ret()
+    return build_module("memhot", b.build())
+
+
+def test_memory_pricing_gate():
+    """Regression gate for the arch-aware memory-pricing stack.
+
+    The JIT tier must stay >= 5x over the oracle and >= 2x over the
+    dispatch tier on the pricing-bound loop.  Equivalence of the measured
+    launches is re-checked on the default geometry *and* on G80's 16-wide
+    segments / 16 banks, so a pricing shortcut can never buy speed with
+    drift -- counters (including the shared-conflict evidence) must match
+    bit for bit.
+    """
+    module = build_memory_loop_module()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=256)
+    args = {"x": x, "n": 40}
+
+    def mem_loop(device):
+        return device.launch(module, 4, 64, dict(args, out=np.zeros(256)),
+                             kernel_name="memhot")
+
+    jit_s, oracle_s, jit_result, oracle_result = measure_speedup_with_retry(
+        mem_loop, MEMORY_PRICING_MIN_SPEEDUP_VS_ORACLE, repeat=5,
+        fast_tier="jit", reference_tier="oracle")
+    assert jit_result.cycles == oracle_result.cycles
+    assert jit_result.counters == oracle_result.counters
+    assert jit_result.counters["shared_conflicts"] > 0
+    oracle_speedup = oracle_s / jit_s
+
+    jit_s2, dispatch_s, jit_result, dispatch_result = measure_speedup_with_retry(
+        mem_loop, MEMORY_PRICING_MIN_SPEEDUP_VS_DISPATCH, repeat=5,
+        fast_tier="jit", reference_tier="dispatch")
+    assert jit_result.cycles == dispatch_result.cycles
+    assert jit_result.counters == dispatch_result.counters
+    dispatch_speedup = dispatch_s / jit_s2
+
+    # Non-default geometry: same kernel, all three tiers, G80's 16/16.
+    g80 = get_arch("G80")
+    g80_results = {
+        tier: GpuDevice(g80, fast_path=tier).launch(
+            module, 4, 64, dict(args, out=np.zeros(256)), kernel_name="memhot")
+        for tier in ("oracle", "dispatch", "jit")}
+    assert (g80_results["jit"].cycles == g80_results["dispatch"].cycles
+            == g80_results["oracle"].cycles)
+    assert (g80_results["jit"].counters == g80_results["dispatch"].counters
+            == g80_results["oracle"].counters)
+    # 16-wide segments split the coalesced 32-lane accesses in two.
+    assert (g80_results["jit"].counters["global_transactions"]
+            > jit_result.counters["global_transactions"])
+
+    append_bench_entry({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "run_id": new_run_id(),
+        "gate": "memory_pricing",
+        "mem_loop": {"jit_s": jit_s, "oracle_s": oracle_s,
+                     "speedup": oracle_speedup},
+        "mem_loop_vs_dispatch": {"jit_s": jit_s2, "dispatch_s": dispatch_s,
+                                 "speedup": dispatch_speedup},
+    })
+
+    assert oracle_speedup >= MEMORY_PRICING_MIN_SPEEDUP_VS_ORACLE, (
+        f"memory pricing regressed: {oracle_speedup:.2f}x < "
+        f"{MEMORY_PRICING_MIN_SPEEDUP_VS_ORACLE}x over the oracle "
+        f"(jit {jit_s * 1e3:.2f} ms, oracle {oracle_s * 1e3:.2f} ms)")
+    assert dispatch_speedup >= MEMORY_PRICING_MIN_SPEEDUP_VS_DISPATCH, (
+        f"memory pricing below floor vs dispatch: {dispatch_speedup:.2f}x "
+        f"(jit {jit_s2 * 1e3:.2f} ms, dispatch {dispatch_s * 1e3:.2f} ms)")

@@ -82,6 +82,17 @@ class GpuArch:
     #: debugging the simulator itself.
     fast_path: Union[bool, str] = True
 
+    # --- memory geometry, in elements / banks --------------------------------
+    #: Width of one global-memory transaction segment: lanes whose element
+    #: indices fall into the same ``memory_segment_size``-wide window
+    #: coalesce into a single transaction.  The cost model reads this from
+    #: the arch -- never a hard-coded 32 -- so non-32-lane memory models
+    #: (e.g. half-warp transactions on G80-class parts) price correctly.
+    memory_segment_size: int = 32
+    #: Number of shared-memory banks; lanes hitting the same bank
+    #: serialise.  Read by the cost model alongside ``memory_segment_size``.
+    shared_banks: int = 32
+
     # --- cost-model latencies, in cycles -------------------------------------
     alu_latency: int = 4
     special_latency: int = 16
@@ -112,17 +123,23 @@ class GpuArch:
         return replace(self, **changes)
 
     def cost_signature(self) -> Tuple:
-        """Hashable signature of every latency the decode step bakes in.
+        """Hashable signature of every cost parameter the decode step bakes in.
 
         Two architectures with equal signatures (and warp size) produce
         identical decoded programs, so this keys the per-function decode
-        cache; the memory/atomic latencies are *not* included because their
-        costs stay dynamic (they depend on the addresses a warp touches).
+        cache.  The memory latencies and geometry are included because the
+        JIT tier inlines them into generated segment source as literals;
+        only the *addresses* a warp touches stay dynamic.
         """
         return (
             self.alu_latency, self.special_latency, self.rng_latency,
             self.branch_latency, self.barrier_latency, self.warp_sync_latency,
             self.shuffle_latency, self.independent_thread_scheduling,
+            self.memory_segment_size, self.shared_banks,
+            self.global_latency, self.global_store_latency,
+            self.global_per_transaction, self.shared_latency,
+            self.shared_store_latency, self.shared_conflict_penalty,
+            self.atomic_latency, self.atomic_serialization,
             tuple(sorted(self.cost_overrides.items())),
         )
 
@@ -182,12 +199,35 @@ V100 = GpuArch(
     warp_sync_latency=12,
 )
 
+G80 = GpuArch(
+    name="G80",
+    family="Tesla",
+    cuda_cores=128,
+    sm_count=16,
+    clock_mhz=1350.0,
+    memory_size_gb=0.75,
+    memory_type="GDDR3",
+    shared_memory_per_block=16 * 1024,
+    # Pre-Fermi memory system: global transactions are issued per
+    # half-warp (16-element segments) and shared memory has 16 banks.
+    # This is the registry-visible non-32 geometry that pins the
+    # arch-aware pricing seam.
+    memory_segment_size=16,
+    shared_banks=16,
+    global_latency=140,
+    global_store_latency=60,
+    global_per_transaction=24,
+    shared_latency=28,
+    shared_conflict_penalty=4,
+    independent_thread_scheduling=False,
+)
+
 #: All known architectures, keyed by name.  The three paper presets are
-#: pre-registered; :func:`register_arch` adds custom ones (new latency
-#: models, hypothetical devices) so sweeps and the CLI can reach them by
-#: name without code changes elsewhere.
+#: pre-registered (plus the G80 geometry probe); :func:`register_arch`
+#: adds custom ones (new latency models, hypothetical devices) so sweeps
+#: and the CLI can reach them by name without code changes elsewhere.
 ARCHITECTURES: Dict[str, GpuArch] = {
-    arch.name: arch for arch in (P100, GTX1080TI, V100)
+    arch.name: arch for arch in (P100, GTX1080TI, V100, G80)
 }
 
 #: Evaluation order used throughout the paper's figures.

@@ -84,7 +84,8 @@ _CONTROL_KINDS = {
 class DecodedInstruction:
     """One simple (straight-line) instruction bound to its handler."""
 
-    __slots__ = ("instruction", "uid", "execute", "static_cost", "counter_key")
+    __slots__ = ("instruction", "uid", "execute", "static_cost", "counter_key",
+                 "is_store", "is_atomic")
 
     def __init__(self, instruction: Instruction, execute: ExecuteFn,
                  static_cost: Optional[float], counter_key: Optional[str]):
@@ -95,6 +96,10 @@ class DecodedInstruction:
         self.static_cost = static_cost
         #: Cost-model counter the baked cost bumps (``None``: no counter).
         self.counter_key = counter_key
+        #: Pricing flags baked at decode time so the dispatch loop can call
+        #: ``CostModel.price_access`` without re-inspecting the opcode.
+        self.is_store = instruction.opcode in ("store", "memset")
+        self.is_atomic = instruction.info.category == "atomic"
 
 
 class Segment:
@@ -143,7 +148,7 @@ class ControlStep:
 
     __slots__ = ("kind", "instruction", "static_cost", "counter_key",
                  "target", "true_target", "false_target", "reconvergence",
-                 "condition")
+                 "condition", "jit_fns")
 
     def __init__(self, kind: int, instruction: Instruction,
                  static_cost: float, counter_key: Optional[str]):
@@ -156,6 +161,12 @@ class ControlStep:
         self.false_target: Optional[str] = None
         self.reconvergence: Optional[str] = None
         self.condition: Optional[Callable] = None
+        #: Exec-compiled single-instruction function pair used when this
+        #: BR/CONDBR/RET step is dispatched on its own -- a block with no
+        #: preceding straight-line segment, or a mid-block resume landing
+        #: on the terminator (see :func:`repro.gpu.jitted.attach_jit`);
+        #: barrier steps and the dispatch tier leave it ``None``.
+        self.jit_fns = None
 
 
 class DecodedBlock:
@@ -328,14 +339,14 @@ def _build_load(instruction: Instruction, warp_size: int) -> ExecuteFn:
         handle = get_base(ex)
         index = get_index(ex)
         if full:
-            active_idx = handle.check_bounds(index, instruction)
+            active_idx, lo, hi = handle.check_bounds_stats(index, instruction)
             ex.warp.write_register_full(dest, handle.array[active_idx])
         else:
-            active_idx = handle.check_bounds(index[mask], instruction)
+            active_idx, lo, hi = handle.check_bounds_stats(index[mask], instruction)
             result = np.zeros(warp_size, dtype=handle.array.dtype)
             result[mask] = handle.array[active_idx]
             ex.warp.write_register(dest, result, mask)
-        return MemoryAccessInfo(handle=handle, indices=active_idx)
+        return MemoryAccessInfo(handle=handle, indices=active_idx, stats=(lo, hi))
 
     return execute
 
@@ -350,12 +361,12 @@ def _build_store(instruction: Instruction, warp_size: int) -> ExecuteFn:
         index = get_index(ex)
         value = get_value(ex)
         if full:
-            active_idx = handle.check_bounds(index, instruction)
+            active_idx, lo, hi = handle.check_bounds_stats(index, instruction)
             handle.array[active_idx] = value.astype(handle.array.dtype)
         else:
-            active_idx = handle.check_bounds(index[mask], instruction)
+            active_idx, lo, hi = handle.check_bounds_stats(index[mask], instruction)
             handle.array[active_idx] = value[mask].astype(handle.array.dtype)
-        return MemoryAccessInfo(handle=handle, indices=active_idx)
+        return MemoryAccessInfo(handle=handle, indices=active_idx, stats=(lo, hi))
 
     return execute
 
@@ -378,10 +389,10 @@ def _build_atomic(instruction: Instruction, warp_size: int) -> ExecuteFn:
         handle = get_base(ex)
         index = get_index(ex)
         if full:
-            active_idx = handle.check_bounds(index, instruction)
+            active_idx, lo, hi = handle.check_bounds_stats(index, instruction)
             lanes = all_lanes
         else:
-            active_idx = handle.check_bounds(index[mask], instruction)
+            active_idx, lo, hi = handle.check_bounds_stats(index[mask], instruction)
             lanes = np.nonzero(mask)[0]
         old_values = np.zeros(warp_size, dtype=handle.array.dtype)
         compare = get_compare(ex) if get_compare is not None else None
@@ -421,7 +432,7 @@ def _build_atomic(instruction: Instruction, warp_size: int) -> ExecuteFn:
                         ex.warp.write_register_full(dest, old_values)
                     else:
                         ex.warp.write_register(dest, old_values, mask)
-                return MemoryAccessInfo(handle=handle, indices=active_idx)
+                return MemoryAccessInfo(handle=handle, indices=active_idx, stats=(lo, hi))
         for position, lane in enumerate(lanes):
             address = int(active_idx[position])
             old = array[address]
@@ -441,7 +452,7 @@ def _build_atomic(instruction: Instruction, warp_size: int) -> ExecuteFn:
                 ex.warp.write_register_full(dest, old_values)
             else:
                 ex.warp.write_register(dest, old_values, mask)
-        return MemoryAccessInfo(handle=handle, indices=active_idx)
+        return MemoryAccessInfo(handle=handle, indices=active_idx, stats=(lo, hi))
 
     return execute
 

@@ -76,6 +76,15 @@ class WarpExecutor:
         #: lets a compiled segment bump profile objects directly instead of
         #: probing the profiler dict per instruction per execution.
         self._jit_profiles: Dict[int, tuple] = profiler.jit_bindings
+        #: Identity-keyed memo of bounds-checked accesses, probed by the
+        #: compiled full-mask path: ``(id(index), id(handle)) -> [index,
+        #: handle, converted, lo, hi, priced_count]``.  Sound because
+        #: registered index arrays are never mutated in place (registers
+        #: are rebound, not written through) and entries hold strong
+        #: references, so an id can never be reused while its entry lives.
+        #: Capped at 512 entries; loop-invariant addressing -- the steady
+        #: state of hot kernel loops -- hits for the executor's lifetime.
+        self._bounds_cache: Dict[tuple, list] = {}
         self.function = function
         self.warp = warp
         self.shared = shared
@@ -196,6 +205,7 @@ class WarpExecutor:
         max_instructions = self.max_instructions
         stack = warp.stack
         jit = self._jit
+        price = cost_model.price_access
         profiles = profiler.instructions if profile_enabled else None
         while True:
             # Inlined warp.pop_reconverged() (hot: once per control
@@ -271,8 +281,11 @@ class WarpExecutor:
                                 if cost is None:
                                     active = (self.warp_size if full
                                               else int(np.count_nonzero(mask)))
-                                    cost = cost_model._memory_cost(
-                                        d.instruction, active, memory)
+                                    cost = (price(memory, active, d.is_store,
+                                                  d.is_atomic)
+                                            if memory is not None else
+                                            cost_model._memory_cost(
+                                                d.instruction, active, None))
                                     warp.cycles += cost
                                 profile = profiles.get(d.uid)
                                 if profile is None:
@@ -290,8 +303,12 @@ class WarpExecutor:
                                 if d.static_cost is None:
                                     active = (self.warp_size if full
                                               else int(np.count_nonzero(mask)))
-                                    warp.cycles += cost_model._memory_cost(
-                                        d.instruction, active, memory)
+                                    warp.cycles += (
+                                        price(memory, active, d.is_store,
+                                              d.is_atomic)
+                                        if memory is not None else
+                                        cost_model._memory_cost(
+                                            d.instruction, active, None))
                     else:
                         # Mid-block entry (barrier resume), a segment that
                         # straddles the instruction budget, or non-integer
@@ -310,7 +327,11 @@ class WarpExecutor:
                             if cost is None:
                                 active = (self.warp_size if full
                                           else int(np.count_nonzero(mask)))
-                                cost = cost_model._memory_cost(d.instruction, active, memory)
+                                cost = (price(memory, active, d.is_store,
+                                              d.is_atomic)
+                                        if memory is not None else
+                                        cost_model._memory_cost(
+                                            d.instruction, active, None))
                             else:
                                 key = d.counter_key
                                 if key is not None:
@@ -322,6 +343,24 @@ class WarpExecutor:
                     top.pc = (label, index)
                     continue
                 # A control or barrier step: one instruction on its own.
+                if jit:
+                    jit_fns = step.jit_fns
+                    if (jit_fns is not None
+                            and warp.instructions_executed < max_instructions):
+                        # JIT tier: a single-control block (or a mid-block
+                        # resume landing on the terminator) executes through
+                        # the same exec-compiled scheme as segments; the
+                        # closure charges the instruction and performs the
+                        # transfer.  Budget guard mirrors the plain path's
+                        # increment-then-trap for one instruction.
+                        mask = top.mask
+                        if mask is not top.mask_obj:
+                            top.mask_obj = mask
+                            top.mask_full = bool(mask.all())
+                        (jit_fns[0] if top.mask_full else jit_fns[1])(
+                            self, warp, top, mask, counters, profiles)
+                        transferred = True
+                        continue
                 warp.instructions_executed += 1
                 if warp.instructions_executed > max_instructions:
                     self._trap(

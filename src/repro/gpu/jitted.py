@@ -29,11 +29,22 @@ Python function per activation shape (fully active warp / partial mask):
   ``br``/``condbr``/``ret`` terminator, the control transfer -- including
   the divergence stack discipline -- is folded into the compiled function
   (the ROADMAP's "segment mega-closures"), eliminating one interpreter
-  round-trip per executed block;
+  round-trip per executed block; control steps are *also* compiled on
+  their own (an empty segment + folded terminator), so single-control
+  blocks -- loop latches, header tests, bare returns -- execute through
+  the same scheme instead of the dispatch loop;
 * the segment's pre-aggregated static cycles and cost-model counters are
   charged in one step, and per-instruction profiler bumps run over
   profile objects bound once per launch instead of probing the profiler
-  dictionary on every execution.
+  dictionary on every execution;
+* load/store memory pricing is inlined: the bounds check returns the
+  index extrema it already computes (``check_bounds_stats``), the
+  coalescing/bank-conflict counts take their exact fast paths from those
+  extrema, the arch's geometry and latencies
+  (``GpuArch.memory_segment_size`` / ``shared_banks`` / the memory
+  latency fields -- never literals) are baked into the source, and the
+  counter bumps aggregate into one flush per segment (sound because
+  every latency is an integer, so float64 sums reorder exactly).
 
 Compilation is content-addressed twice over.  Generated functions take
 every clone-varying value (instruction objects, uids, constants, branch
@@ -83,7 +94,7 @@ from .interpreter import (
     STEP_RET,
     STEP_SEGMENT,
 )
-from .memory import BufferHandle
+from .memory import BufferHandle, conflicts_from_stats, transactions_from_stats
 from .profiler import InstructionProfile
 from .rng import counter_uniform
 from .timing import MemoryAccessInfo
@@ -194,6 +205,8 @@ _BASE_ENV: Dict[str, object] = {
     "_np_bnot": np.bitwise_not,
     "_np_shl": np.left_shift,
     "_np_shr": np.right_shift,
+    "_txs": transactions_from_stats,
+    "_bks": conflicts_from_stats,
     "_il": _int_like,
     "_cu": counter_uniform,
     "_pr": _promote,
@@ -279,16 +292,32 @@ def _resolve_plan(plan: tuple, segment: Segment,
     return tuple(values)
 
 
+def _pricing_signature(arch: GpuArch) -> tuple:
+    """The memory-pricing constants the generated source bakes as literals.
+
+    Part of the structural cache key: segments from two architectures may
+    share a compiled factory only when every baked pricing constant --
+    geometry *and* latencies -- matches (a P100 and a G80 segment of the
+    same shape must not share wrong baked costs).
+    """
+    return (arch.memory_segment_size, arch.shared_banks,
+            arch.global_latency, arch.global_store_latency,
+            arch.global_per_transaction, arch.shared_latency,
+            arch.shared_store_latency, arch.shared_conflict_penalty,
+            arch.alu_latency)
+
+
 def _segment_signature(segment: Segment, terminator: Optional[ControlStep],
-                       warp_size: int) -> tuple:
+                       warp_size: int, pricing: tuple) -> tuple:
     """Structural identity of a segment's generated source.
 
     Two segments with equal signatures generate character-identical
     source for both variants, so they share one compiled factory; the
     signature covers exactly what the source bakes in as literals --
     opcodes, destination/operand register names, costs, counter keys,
-    source locations, the folded terminator's shape -- while constants,
-    uids and branch targets travel through the bound tuple.
+    source locations, the folded terminator's shape, the arch's memory
+    pricing -- while constants, uids and branch targets travel through
+    the bound tuple.
     """
     def operand_shape(instruction):
         return tuple(
@@ -308,7 +337,7 @@ def _segment_signature(segment: Segment, terminator: Optional[ControlStep],
                     terminator.counter_key, terminator.reconvergence,
                     operand_shape(instruction),
                     str(instruction.loc) if instruction.loc is not None else None)
-    return (warp_size, segment.static_cycles,
+    return (warp_size, pricing, segment.static_cycles,
             tuple(sorted(segment.counter_totals)), body_sig, term_sig)
 
 
@@ -336,16 +365,19 @@ class _SegmentCompiler:
     """
 
     def __init__(self, segment: Segment, warp_size: int, full: bool,
-                 terminator: Optional[ControlStep] = None):
+                 arch: GpuArch, terminator: Optional[ControlStep] = None):
         self.segment = segment
         self.warp_size = warp_size
         self.full = full
+        self.arch = arch
         self.terminator = terminator
         self.lines: List[str] = []
         self.plan: List[tuple] = []
         self.shadows: Dict[str, _Shadow] = {}
         self._counter = itertools.count()
         self._needs_memory_cost = False
+        self._needs_mem_accumulators = False
+        self._needs_bounds_cache = False
         self._active_var: Optional[str] = None
 
     # -- small utilities ---------------------------------------------------
@@ -530,10 +562,112 @@ class _SegmentCompiler:
     # -- dynamic (memory) pricing ------------------------------------------
     def memory_cost(self, inst_var: str, info_expr: str, decoded,
                     source_index: int) -> None:
+        """Price through the live cost model (fallback instructions only:
+        atomics and unknown opcodes, whose access the closure performed)."""
         self._needs_memory_cost = True
         cost = self.temp("_c")
         self.emit(f"{cost} = _mc({inst_var}, {self.active_lanes()}, {info_expr})")
         self.emit(f"warp.cycles += {cost}")
+        self._emit_dynamic_profile(cost, decoded, source_index)
+
+    def bounds_stats(self, handle: str, index: str, inst_var: str,
+                     active: str, lo: str, hi: str) -> Optional[str]:
+        """Emit the bounds check + extrema for one access.
+
+        In full-mask mode the check goes through the executor's
+        identity-keyed memo: the same index-array object checked against
+        the same handle object must produce the same ``(converted, lo,
+        hi)`` -- index arrays are never mutated in place once registered,
+        and a trapping access never reaches the memo -- so loop-invariant
+        addressing (the steady state of every hot kernel loop) collapses
+        to a dict probe.  Returns the entry variable so the pricing can
+        memoize its transaction/conflict count in slot 5, or ``None`` in
+        masked mode where the freshly sliced ``index[mask]`` can never
+        hit an identity cache.
+        """
+        if not self.full:
+            self.emit(f"{active}, {lo}, {hi} = "
+                      f"{handle}.check_bounds_stats({index}[mask], "
+                      f"{inst_var})")
+            return None
+        self._needs_bounds_cache = True
+        key = self.temp("_k")
+        entry = self.temp("_e")
+        self.emit(f"{key} = (id({index}), id({handle}))")
+        self.emit(f"{entry} = _bc.get({key})")
+        self.emit(f"if {entry} is not None and {entry}[0] is {index} "
+                  f"and {entry}[1] is {handle}:")
+        self.emit(f"    {active} = {entry}[2]; {lo} = {entry}[3]; "
+                  f"{hi} = {entry}[4]")
+        self.emit("else:")
+        self.emit(f"    {active}, {lo}, {hi} = "
+                  f"{handle}.check_bounds_stats({index}, {inst_var})")
+        self.emit(f"    {entry} = [{index}, {handle}, {active}, {lo}, "
+                  f"{hi}, None]")
+        self.emit("    if len(_bc) < 512:")
+        self.emit(f"        _bc[{key}] = {entry}")
+        return entry
+
+    def inline_memory_price(self, handle: str, active: str, lo: str, hi: str,
+                            decoded, source_index: int, is_store: bool,
+                            entry: Optional[str] = None) -> None:
+        """Inline the pricing of one bounds-checked load/store access.
+
+        Emits the exact arithmetic of :meth:`CostModel.price_access` with
+        the arch's geometry and latencies baked as literals (the structural
+        cache key covers them via :func:`_pricing_signature`), accumulating
+        cycles and counter evidence into per-segment locals that
+        :meth:`_emit_counter_flush` folds into the cost-model counters in
+        one aggregated bump per counter.  Exact: every latency is an
+        integer, so the reordered float64 sums match the reference's
+        per-access bumps bit for bit.  With a memo *entry* (full mode),
+        the transaction/conflict count is cached in slot 5 -- valid
+        because the entry is keyed by (index object, handle object) and
+        the count depends only on the index values and the baked geometry.
+        """
+        arch = self.arch
+        self._needs_mem_accumulators = True
+        cost = self.temp("_c")
+        tx = self.temp("_tx")
+        cf = self.temp("_cf")
+        gbase = float(arch.global_store_latency if is_store
+                      else arch.global_latency)
+        sbase = float(arch.shared_store_latency if is_store
+                      else arch.shared_latency)
+        self.emit(f"if {handle}.space == 'global':")
+        if entry is not None:
+            self.emit(f"    {tx} = {entry}[5]")
+            self.emit(f"    if {tx} is None:")
+            self.emit(f"        {tx} = _txs({active}, {lo}, {hi}, "
+                      f"{arch.memory_segment_size})")
+            self.emit(f"        {entry}[5] = {tx}")
+        else:
+            self.emit(f"    {tx} = _txs({active}, {lo}, {hi}, "
+                      f"{arch.memory_segment_size})")
+        self.emit(f"    {cost} = {gbase!r} if {tx} <= 1 else "
+                  f"{gbase!r} + {arch.global_per_transaction} * ({tx} - 1)")
+        self.emit(f"    _gn += 1; _gc += {cost}; _gt += {tx}")
+        self.emit(f"elif {handle}.space == 'shared':")
+        if entry is not None:
+            self.emit(f"    {cf} = {entry}[5]")
+            self.emit(f"    if {cf} is None:")
+            self.emit(f"        {cf} = _bks({active}, {lo}, {hi}, "
+                      f"{arch.shared_banks})")
+            self.emit(f"        {entry}[5] = {cf}")
+        else:
+            self.emit(f"    {cf} = _bks({active}, {lo}, {hi}, "
+                      f"{arch.shared_banks})")
+        self.emit(f"    {cost} = {sbase!r} if {cf} <= 1 else "
+                  f"{sbase!r} + {arch.shared_conflict_penalty} * ({cf} - 1)")
+        self.emit(f"    _sn += 1; _sc += {cost}; _sf += {cf}")
+        self.emit("else:")
+        self.emit(f"    {cost} = {float(arch.alu_latency)!r}")
+        self.emit(f"    _an += 1; _ac += {cost}")
+        self.emit(f"_dyn += {cost}")
+        self._emit_dynamic_profile(cost, decoded, source_index)
+
+    def _emit_dynamic_profile(self, cost: str, decoded,
+                              source_index: int) -> None:
         instruction = decoded.instruction
         location = (str(instruction.loc) if instruction.loc is not None else None)
         uid = self.bind("_u", ("uid", source_index))
@@ -546,6 +680,29 @@ class _SegmentCompiler:
         self.emit(f"        profiles[{uid}] = {profile}")
         self.emit(f"    {profile}.executions += 1")
         self.emit(f"    {profile}.cycles += {cost}")
+
+    def _emit_counter_flush(self) -> None:
+        """One aggregated bump per touched counter at segment end.
+
+        Gated on the access *counts*, not the accumulated values: a priced
+        access always creates its counter keys in the reference (``_bump``
+        with amount 0 still inserts the key), so a zero-valued accumulator
+        with at least one access must still create them here.
+        """
+        self.emit("if _gn:")
+        self.emit("    counters['global_cycles'] = "
+                  "counters.get('global_cycles', 0.0) + _gc")
+        self.emit("    counters['global_transactions'] = "
+                  "counters.get('global_transactions', 0.0) + _gt")
+        self.emit("if _sn:")
+        self.emit("    counters['shared_cycles'] = "
+                  "counters.get('shared_cycles', 0.0) + _sc")
+        self.emit("    counters['shared_conflicts'] = "
+                  "counters.get('shared_conflicts', 0.0) + _sf")
+        self.emit("if _an:")
+        self.emit("    counters['alu_cycles'] = "
+                  "counters.get('alu_cycles', 0.0) + _ac")
+        self.emit("warp.cycles += _dyn")
 
     # -- per-instruction bodies --------------------------------------------
     def closure_fallback(self, decoded, inst_var: str, source_index: int) -> None:
@@ -664,18 +821,20 @@ class _SegmentCompiler:
                                  source_index, 0)
             index = numeric(1)
             active = self.temp("_ai")
+            lo = self.temp("_lo")
+            hi = self.temp("_hi")
             value = self.temp("_v")
+            entry = self.bounds_stats(handle, index, inst_var, active, lo, hi)
             if self.full:
-                self.emit(f"{active} = {handle}.check_bounds({index}, {inst_var})")
                 self.emit(f"{value} = {handle}.array[{active}]")
             else:
-                self.emit(f"{active} = {handle}.check_bounds({index}[mask], "
-                          f"{inst_var})")
                 self.emit(f"{value} = _np_zeros({ws}, dtype={handle}.array.dtype)")
                 self.emit(f"{value}[mask] = {handle}.array[{active}]")
             self.write(instruction.dest, value)
-            self.memory_cost(inst_var, f"_MI({handle}, {active})", decoded,
-                             source_index)
+            if decoded.static_cost is None:
+                self.inline_memory_price(handle, active, lo, hi, decoded,
+                                         source_index, is_store=False,
+                                         entry=entry)
             return
 
         if opcode in ("store", "memset"):
@@ -684,17 +843,19 @@ class _SegmentCompiler:
             index = numeric(1)
             value = numeric(2)
             active = self.temp("_ai")
+            lo = self.temp("_lo")
+            hi = self.temp("_hi")
+            entry = self.bounds_stats(handle, index, inst_var, active, lo, hi)
             if self.full:
-                self.emit(f"{active} = {handle}.check_bounds({index}, {inst_var})")
                 self.emit(f"{handle}.array[{active}] = "
                           f"{value}.astype({handle}.array.dtype)")
             else:
-                self.emit(f"{active} = {handle}.check_bounds({index}[mask], "
-                          f"{inst_var})")
                 self.emit(f"{handle}.array[{active}] = "
                           f"{value}[mask].astype({handle}.array.dtype)")
-            self.memory_cost(inst_var, f"_MI({handle}, {active})", decoded,
-                             source_index)
+            if decoded.static_cost is None:
+                self.inline_memory_price(handle, active, lo, hi, decoded,
+                                         source_index, is_store=True,
+                                         entry=entry)
             return
 
         if opcode == "activemask":
@@ -913,6 +1074,8 @@ class _SegmentCompiler:
 
         for source_index, decoded in enumerate(body):
             self.compile_instruction(decoded, source_index)
+        if self._needs_mem_accumulators:
+            self._emit_counter_flush()
         self.flush_dirty()
         if terminator is not None:
             self.compile_terminator()
@@ -922,6 +1085,11 @@ class _SegmentCompiler:
             prelude.insert(1, "_idn = ex._identity_values")
         if self._needs_memory_cost:
             prelude.insert(1, "_mc = ex.cost_model._memory_cost")
+        if self._needs_bounds_cache:
+            prelude.insert(1, "_bc = ex._bounds_cache")
+        if self._needs_mem_accumulators:
+            prelude.append("_gn = _gt = _sn = _sf = _an = 0")
+            prelude.append("_gc = _sc = _ac = _dyn = 0.0")
 
         names = [name for name, _ in self.plan]
         unpack = []
@@ -947,20 +1115,22 @@ def _build_factory(source: str):
 
 
 def compile_segment(segment: Segment, warp_size: int, label: str,
+                    arch: GpuArch,
                     terminator: Optional[ControlStep] = None) -> Tuple:
     """Compile one exact segment into its JIT record:
     ``(full-mask kernel, masked kernel, instruction count, combined)``,
     where *combined* records whether the block terminator was folded in
     (the interpreter then treats the call as the control transfer)."""
-    signature = _segment_signature(segment, terminator, warp_size)
+    signature = _segment_signature(segment, terminator, warp_size,
+                                   _pricing_signature(arch))
     cached = _SEGMENT_CACHE.get(signature)
     if cached is None:
         if len(_SEGMENT_CACHE) >= _SEGMENT_CACHE_LIMIT:
             _SEGMENT_CACHE.clear()
         full_source, full_plan = _SegmentCompiler(
-            segment, warp_size, True, terminator).generate()
+            segment, warp_size, True, arch, terminator).generate()
         masked_source, masked_plan = _SegmentCompiler(
-            segment, warp_size, False, terminator).generate()
+            segment, warp_size, False, arch, terminator).generate()
         cached = (_build_factory(full_source), full_plan,
                   _build_factory(masked_source), masked_plan)
         _SEGMENT_CACHE[signature] = cached
@@ -976,27 +1146,47 @@ def compile_segment(segment: Segment, warp_size: int, label: str,
     )
 
 
-def attach_jit(decoded: DecodedFunction) -> None:
+def attach_jit(decoded: DecodedFunction, arch: GpuArch) -> None:
     """Compile every exact segment of *decoded* in place (idempotent).
 
     A segment directly followed by its block's ``br``/``condbr``/``ret``
-    terminator is compiled together with it (the mega-closure form);
-    barriers and mid-block entries keep going through the dispatch loop.
+    terminator is compiled together with it (the mega-closure form), and
+    every such control step additionally gets a *single-instruction*
+    compilation of its own -- an empty segment with the terminator folded
+    in -- so blocks with no preceding straight-line segment (loop latches,
+    header tests, bare returns) and mid-block resumes landing on the
+    terminator execute compiled too; barriers keep going through the
+    dispatch loop.  *arch* supplies the memory pricing the generated
+    source bakes in (covered by the structural cache key).
     """
+    warp_size = decoded.warp_size
     for label, block in decoded.blocks.items():
         steps = block.steps
+        index = 0
         for position, step in enumerate(steps):
-            if (step.kind != STEP_SEGMENT or not step.exact
-                    or step.jit_fns is not None):
+            if step.kind == STEP_SEGMENT:
+                if step.exact and step.jit_fns is None:
+                    terminator = None
+                    following = (steps[position + 1]
+                                 if position + 1 < len(steps) else None)
+                    if (following is not None
+                            and following.kind in (STEP_BR, STEP_CONDBR, STEP_RET)
+                            and float(following.static_cost).is_integer()):
+                        terminator = following
+                    step.jit_fns = compile_segment(step, warp_size, label,
+                                                   arch, terminator)
+                index += len(step.body)
                 continue
-            terminator = None
-            following = steps[position + 1] if position + 1 < len(steps) else None
-            if (following is not None
-                    and following.kind in (STEP_BR, STEP_CONDBR, STEP_RET)
-                    and float(following.static_cost).is_integer()):
-                terminator = following
-            step.jit_fns = compile_segment(step, decoded.warp_size, label,
-                                           terminator)
+            if (step.kind in (STEP_BR, STEP_CONDBR, STEP_RET)
+                    and step.jit_fns is None
+                    and float(step.static_cost).is_integer()):
+                # An empty segment starting at the control step makes the
+                # folded terminator's pc_after equal the step's own index,
+                # so the compiled RET leaves top.pc exactly where the
+                # dispatch loop's plain path does.
+                step.jit_fns = compile_segment(Segment(index), warp_size,
+                                               label, arch, step)
+            index += 1
     decoded.jit_ready = True
 
 
@@ -1007,5 +1197,5 @@ def jit_function(function: Function, arch: GpuArch) -> DecodedFunction:
     and the compiled segments die with it."""
     decoded = decode_function(function, arch)
     if not decoded.jit_ready:
-        attach_jit(decoded)
+        attach_jit(decoded, arch)
     return decoded

@@ -65,6 +65,19 @@ class BufferHandle:
         Raises :class:`KernelTrap` on any out-of-bounds or non-finite index,
         which the GEVO fitness harness interprets as a failed test case.
         """
+        return self.check_bounds_stats(indices, instruction)[0]
+
+    def check_bounds_stats(self, indices: np.ndarray, instruction=None):
+        """Validate *indices*; return ``(idx, lo, hi)`` with the extrema.
+
+        The bounds check has to reduce the index vector to its min/max
+        anyway, and the memory-pricing fast paths
+        (:func:`transactions_from_stats` / :func:`conflicts_from_stats`)
+        are keyed on exactly those extrema -- fusing the two means one
+        reduction pass per executed memory instruction instead of three.
+        ``lo``/``hi`` are Python ints; an empty access returns ``(0, -1)``
+        (the sentinel both pricing helpers treat as "no lanes").
+        """
         idx = np.asarray(indices)
         if idx.dtype.kind == "f":
             if not np.all(np.isfinite(idx)):
@@ -72,17 +85,19 @@ class BufferHandle:
                     f"non-finite index into {self.space} buffer {self.name!r}",
                     instruction=instruction,
                 )
-            idx = idx.astype(np.int64)
-        else:
-            idx = idx.astype(np.int64)
-        if idx.size and (idx.min() < 0 or idx.max() >= self.size):
-            bad = int(idx.min()) if idx.min() < 0 else int(idx.max())
+        idx = idx.astype(np.int64, copy=False)
+        if not idx.size:
+            return idx, 0, -1
+        lo = int(idx.min())
+        hi = int(idx.max())
+        if lo < 0 or hi >= self.size:
+            bad = lo if lo < 0 else hi
             raise KernelTrap(
                 f"out-of-bounds access to {self.space} buffer {self.name!r} "
                 f"(index {bad}, size {self.size})",
                 instruction=instruction,
             )
-        return idx
+        return idx, lo, hi
 
     def __repr__(self) -> str:
         return f"<BufferHandle {self.space}:{self.name}[{self.size}]>"
@@ -117,21 +132,25 @@ class ArenaBufferHandle(BufferHandle):
         """The slice of the arena corresponding to the logical buffer."""
         return self.arena[self.offset:self.offset + self.logical_size]
 
-    def check_bounds(self, indices: np.ndarray, instruction=None) -> np.ndarray:
+    def check_bounds_stats(self, indices: np.ndarray, instruction=None):
         idx = np.asarray(indices)
         if idx.dtype.kind == "f":
             if not np.all(np.isfinite(idx)):
                 raise KernelTrap(
                     f"non-finite index into global buffer {self.name!r}",
                     instruction=instruction)
-        idx = idx.astype(np.int64) + self.offset
-        if idx.size and (idx.min() < 0 or idx.max() >= self.arena.shape[0]):
+        idx = idx.astype(np.int64, copy=False) + self.offset
+        if not idx.size:
+            return idx, 0, -1
+        lo = int(idx.min())
+        hi = int(idx.max())
+        if lo < 0 or hi >= self.arena.shape[0]:
             raise KernelTrap(
                 f"illegal memory access: buffer {self.name!r} index "
-                f"{int(idx.min() - self.offset)}..{int(idx.max() - self.offset)} leaves the "
+                f"{lo - self.offset}..{hi - self.offset} leaves the "
                 f"mapped device arena (logical size {self.logical_size})",
                 instruction=instruction)
-        return idx
+        return idx, lo, hi
 
 
 class GlobalMemory:
@@ -256,19 +275,38 @@ class SharedMemoryBlock:
 def coalesced_transactions(indices: np.ndarray, segment_size: int = 32) -> int:
     """Number of memory transactions a warp access generates.
 
-    Global memory accesses are serviced in segments; a fully coalesced
-    access by 32 lanes touches one segment, a strided or scattered access
-    touches up to 32.  The cost model charges per transaction, which is how
-    the simulator reproduces the benefit of coalesced access patterns.
+    Global memory accesses are serviced in segments of
+    ``segment_size`` elements (callers pass ``GpuArch.memory_segment_size``
+    -- the default only serves standalone use); a fully coalesced access
+    touches one segment, a strided or scattered access touches up to one
+    per lane.  The cost model charges per transaction, which is how the
+    simulator reproduces the benefit of coalesced access patterns.
     """
-    if indices.size == 0:
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
         return 0
+    return transactions_from_stats(idx, int(idx.min()), int(idx.max()), segment_size)
+
+
+def transactions_from_stats(idx: np.ndarray, lo: int, hi: int, segment_size: int) -> int:
+    """:func:`coalesced_transactions` given precomputed index extrema.
+
+    The hot tiers obtain ``(lo, hi)`` for free from the fused bounds check
+    (``BufferHandle.check_bounds_stats``); when the extrema land in at most
+    two adjacent segments the count is exact without sorting -- which is
+    the overwhelmingly common case for coalesced kernels.  An empty access
+    is encoded as ``(lo, hi) == (0, -1)`` and prices to 0 transactions.
+    """
+    span = hi // segment_size - lo // segment_size
+    if span <= 1:
+        # Both extrema exist in the access, so a 0-segment span is exactly
+        # one transaction and a 1-segment span exactly two (and the empty
+        # sentinel gives span == -1 -> 0).
+        return span + 1
     # Equivalent to np.unique(...).size, without the wrapper overhead (this
     # runs once per executed global-memory instruction).
-    segments = np.asarray(indices, dtype=np.int64) // segment_size
+    segments = idx // segment_size
     segments.sort()
-    if segments.size == 1:
-        return 1
     return int(np.count_nonzero(segments[1:] != segments[:-1])) + 1
 
 
@@ -278,11 +316,30 @@ def bank_conflicts(indices: np.ndarray, num_banks: int = 32) -> int:
     Returns the maximum number of lanes that hit the same bank (1 means
     conflict free); the cost model charges the excess serialisation.
     ``num_banks`` must be positive (bank ids are ``index % num_banks``,
-    non-negative for any index the bounds check lets through).
+    non-negative for any index the bounds check lets through); callers
+    pass ``GpuArch.shared_banks``, the default only serves standalone use.
     """
-    if indices.size == 0:
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
         return 1
+    return conflicts_from_stats(idx, int(idx.min()), int(idx.max()), num_banks)
+
+
+def conflicts_from_stats(idx: np.ndarray, lo: int, hi: int, num_banks: int) -> int:
+    """:func:`bank_conflicts` given precomputed index extrema.
+
+    A contiguous ascending access (the ``tile[tid]`` pattern) is provably
+    conflict free up to the bank wrap-around, so the common case skips the
+    bincount.  Contiguity needs both the range check *and* the adjacent
+    deltas (``[0, 1, 1, 3]`` has ``hi - lo == n - 1`` without being
+    contiguous).  The empty sentinel ``(0, -1)`` prices to degree 1.
+    """
+    n = idx.size
+    if n <= 1:
+        return 1
+    if hi - lo == n - 1 and bool((idx[1:] == idx[:-1] + 1).all()):
+        # n consecutive addresses: each bank is hit ceil(n / num_banks) times.
+        return -(-n // num_banks)
     # Equivalent to np.unique(..., return_counts=True)[1].max(): the zero
     # counts np.bincount adds for untouched banks never win the max.
-    banks = np.asarray(indices, dtype=np.int64) % num_banks
-    return int(np.bincount(banks).max())
+    return int(np.bincount(idx % num_banks).max())

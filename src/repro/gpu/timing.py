@@ -25,7 +25,15 @@ from typing import Dict, Optional, Tuple
 
 from ..ir.instructions import Instruction
 from .arch import GpuArch
-from .memory import GLOBAL_SPACE, SHARED_SPACE, BufferHandle, bank_conflicts, coalesced_transactions
+from .memory import (
+    GLOBAL_SPACE,
+    SHARED_SPACE,
+    BufferHandle,
+    bank_conflicts,
+    coalesced_transactions,
+    conflicts_from_stats,
+    transactions_from_stats,
+)
 
 import numpy as np
 
@@ -36,6 +44,11 @@ class MemoryAccessInfo:
 
     handle: BufferHandle
     indices: np.ndarray
+    #: ``(min, max)`` of ``indices`` when the access path already reduced
+    #: them (the decoded/JIT tiers fuse the reductions into the bounds
+    #: check; ``(0, -1)`` encodes an empty access).  ``None`` means the
+    #: pricing re-reduces from ``indices`` -- same result either way.
+    stats: Optional[Tuple[int, int]] = None
 
 
 @dataclass
@@ -77,15 +90,46 @@ class CostModel:
         active_lanes: int,
         memory: Optional[MemoryAccessInfo],
     ) -> float:
-        arch = self.arch
-        is_atomic = instruction.info.category == "atomic"
-        is_store = instruction.opcode in ("store", "memset")
         if memory is None:
             # A memory instruction that trapped before the access resolved.
-            return float(arch.alu_latency)
+            cost = float(self.arch.alu_latency)
+            self._bump("alu_cycles", cost)
+            return cost
+        return self.price_access(
+            memory,
+            active_lanes,
+            instruction.opcode in ("store", "memset"),
+            instruction.info.category == "atomic",
+        )
+
+    def price_access(
+        self,
+        memory: MemoryAccessInfo,
+        active_lanes: int,
+        is_store: bool,
+        is_atomic: bool,
+    ) -> float:
+        """Price one resolved warp memory access and bump its counters.
+
+        The single dynamic-pricing seam shared by all three interpreter
+        tiers (the JIT tier inlines the equivalent arithmetic into its
+        generated source, baking the same ``GpuArch`` geometry and
+        latencies as literals).  Geometry -- transaction segment width and
+        bank count -- always comes from the arch, never from literals.
+        Every charge lands in a counter, so the counter sums equal the
+        total cycles charged; ``global_transactions`` / ``shared_conflicts``
+        record the per-access evidence the multi-objective fitness reads.
+        """
+        arch = self.arch
         space = memory.handle.space
+        stats = memory.stats
         if space == GLOBAL_SPACE:
-            transactions = coalesced_transactions(memory.indices)
+            if stats is not None:
+                transactions = transactions_from_stats(
+                    memory.indices, stats[0], stats[1], arch.memory_segment_size)
+            else:
+                transactions = coalesced_transactions(
+                    memory.indices, arch.memory_segment_size)
             base = arch.global_store_latency if is_store else arch.global_latency
             cost = base + arch.global_per_transaction * max(0, transactions - 1)
             if is_atomic:
@@ -95,15 +139,22 @@ class CostModel:
             self._bump("global_transactions", transactions)
             return float(cost)
         if space == SHARED_SPACE:
-            conflict = bank_conflicts(memory.indices)
+            if stats is not None:
+                conflict = conflicts_from_stats(
+                    memory.indices, stats[0], stats[1], arch.shared_banks)
+            else:
+                conflict = bank_conflicts(memory.indices, arch.shared_banks)
             base = arch.shared_store_latency if is_store else arch.shared_latency
             cost = base + arch.shared_conflict_penalty * max(0, conflict - 1)
             if is_atomic:
                 cost += (arch.atomic_latency // 2
                          + (arch.atomic_serialization // 2) * max(0, active_lanes - 1))
             self._bump("shared_cycles", cost)
+            self._bump("shared_conflicts", conflict)
             return float(cost)
-        return float(arch.alu_latency)
+        cost = float(arch.alu_latency)
+        self._bump("alu_cycles", cost)
+        return cost
 
 
 def static_instruction_cost(
@@ -117,7 +168,8 @@ def static_instruction_cost(
     :meth:`CostModel.instruction_cost` charges from this at runtime and
     the decode step bakes it into the instruction stream, so the reference
     and fast paths cannot disagree.  Returns ``None`` for the dynamic
-    cases; the counter key is ``None`` where the charge bumps no counter.
+    cases; every static charge names a counter, so the counter sums always
+    equal the total cycles charged.
     """
     opcode = instruction.opcode
     if opcode in arch.cost_overrides:
@@ -146,8 +198,8 @@ def static_instruction_cost(
             return float(arch.alu_latency), "warp_sync_cycles"
         if opcode.startswith("shfl."):
             return float(arch.shuffle_latency), "shuffle_cycles"
-        return float(arch.alu_latency), None
-    return float(arch.alu_latency), None
+        return float(arch.alu_latency), "alu_cycles"
+    return float(arch.alu_latency), "alu_cycles"
 
 
 def cycles_to_milliseconds(cycles: float, arch: GpuArch) -> float:

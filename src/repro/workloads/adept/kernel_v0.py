@@ -32,7 +32,24 @@ from .smith_waterman import GAP_PENALTY, MATCH_SCORE, MISMATCH_PENALTY
 
 def build_adept_v0(block_threads: int, max_reference_length: int,
                    warp_size: int = 32) -> AdeptKernel:
-    """Build the naive ADEPT-V0 module for a given launch shape."""
+    """Build the naive ADEPT-V0 module for a given launch shape.
+
+    Memoized by shape (see ``kernel_v1._KERNEL_CACHE``): the builder is a
+    pure function of its arguments and the shared module must be treated
+    as immutable.
+    """
+    from .kernel_v1 import _KERNEL_CACHE
+    key = ("v0", _round_up_to_warp(block_threads, warp_size),
+           max_reference_length, warp_size)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        kernel = _KERNEL_CACHE[key] = _build_adept_v0(
+            block_threads, max_reference_length, warp_size)
+    return kernel
+
+
+def _build_adept_v0(block_threads: int, max_reference_length: int,
+                    warp_size: int = 32) -> AdeptKernel:
     block_threads = _round_up_to_warp(block_threads, warp_size)
     # The naive implementation over-sizes its shared buffers by a warp of
     # slack "to be safe" -- and then re-clears the whole allocation every

@@ -24,7 +24,7 @@ left over from the CPU port).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ...ir import KernelBuilder, Module, Param, build_module
 from .params import APOPTOTIC, DEAD, EXPRESSING, HEALTHY, INCUBATING
@@ -375,8 +375,24 @@ def _build_statistics() -> KernelBuilder:
 
 
 # --------------------------------------------------------------------------- public builder
+_KERNELS: Optional[SimCovKernels] = None
+
+
 def build_simcov_kernels() -> SimCovKernels:
-    """Build the eight-kernel SIMCoV module and its edit-target map."""
+    """Build the eight-kernel SIMCoV module and its edit-target map.
+
+    Memoized: the builder takes no arguments and the module is immutable
+    (GEVO clones before editing), so repeated driver constructions reuse
+    the same ``Function`` objects and hit the simulator's decode/JIT
+    caches instead of rebuilding and re-decoding the IR.
+    """
+    global _KERNELS
+    if _KERNELS is None:
+        _KERNELS = _build_simcov_kernels()
+    return _KERNELS
+
+
+def _build_simcov_kernels() -> SimCovKernels:
     edit_targets: Dict[str, Dict[str, int]] = {
         "simcov_spread_virions": {},
         "simcov_spread_chemokine": {},

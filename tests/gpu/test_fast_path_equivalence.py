@@ -539,3 +539,114 @@ def test_jit_cache_invalidated_by_edits():
     # And the recompiled program still matches the other tiers exactly.
     assert_equivalent_launch(module, 2, 64, args, arch,
                              kernel_name="saxpy_wasteful")
+
+
+# --------------------------------------------------------------------------- arch-aware pricing
+def _build_geometry_module():
+    """Shared stride-2 + scattered global addressing: prices differently
+    on 16-wide/16-bank geometry (G80) than on the 32-wide default."""
+    from repro.ir import KernelBuilder, Param, build_module
+    from repro.ir.function import SharedDecl
+
+    b = KernelBuilder("geomk", params=[Param("x", "buffer"), Param("out", "buffer")],
+                      shared=[SharedDecl("tile", 128)])
+    b.block("entry")
+    tid = b.tid_x(dest="tid")
+    addr = b.mul(tid, 2, dest="addr")
+    b.store(b.reg("tile"), addr, b.load(b.reg("x"), tid))
+    v = b.load(b.reg("tile"), addr, dest="v")
+    w = b.load(b.reg("x"), b.mul(tid, 4, dest="gaddr"), dest="w")
+    b.store(b.reg("out"), tid, b.add(v, w))
+    b.ret()
+    return build_module("geomm", b.build())
+
+
+@pytest.mark.parametrize("arch_name", ["P100", "G80"])
+def test_bank_conflict_kernel_equivalent(arch_name):
+    """Three-way equivalence holds on the non-default G80 geometry too."""
+    module = _build_geometry_module()
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=128)
+    result = assert_equivalent_launch(module, 1, 32,
+                                      {"x": x, "out": np.zeros(32)},
+                                      get_arch(arch_name), kernel_name="geomk")
+    assert result is not None
+    assert result.counters["shared_conflicts"] > 0
+
+
+def test_geometry_is_observable_end_to_end():
+    """The same kernel records more transactions/conflicts on G80."""
+    module = _build_geometry_module()
+    rng = np.random.default_rng(7)
+
+    def evidence(arch_name):
+        device = GpuDevice(get_arch(arch_name), fast_path="jit")
+        result = device.launch(module, 1, 32,
+                               {"x": rng.normal(size=128), "out": np.zeros(32)},
+                               kernel_name="geomk")
+        return (result.counters["global_transactions"],
+                result.counters["shared_conflicts"])
+
+    p100_tx, p100_cf = evidence("P100")
+    g80_tx, g80_cf = evidence("G80")
+    assert g80_tx > p100_tx
+    assert g80_cf > p100_cf
+
+
+def test_toy_workload_equivalent_on_g80():
+    arch = get_arch("G80")
+    assert_equivalent_fitness(
+        lambda fast: ToyWorkloadAdapter(arch.with_overrides(fast_path=fast)))
+
+
+# --------------------------------------------------------------------------- solo control blocks
+def test_solo_control_blocks_equivalent():
+    """Blocks holding only a BR/CONDBR/RET run through compiled steps.
+
+    The divergent CONDBR exercises both the full- and masked-mask compiled
+    variants; the empty join block pins the compiled solo-RET's pc
+    semantics against the plain dispatch path.
+    """
+    from repro.ir import KernelBuilder, Param, build_module
+
+    b = KernelBuilder("ctlk", params=[Param("out", "buffer")])
+    b.block("entry")
+    tid = b.tid_x(dest="tid")
+    b.eq(b.rem(tid, 2), 1, dest="odd")
+    b.branch("decide")
+    b.block("decide")           # solo CONDBR, divergent on odd lanes
+    b.cbranch(b.reg("odd"), "left", "right")
+    b.block("left")
+    b.store(b.reg("out"), b.reg("tid"), 1.0)
+    b.branch("mid")
+    b.block("mid")              # solo BR
+    b.branch("join")
+    b.block("right")
+    b.store(b.reg("out"), b.reg("tid"), 2.0)
+    b.branch("join")
+    b.block("join")             # solo RET
+    b.ret()
+    module = build_module("ctlm", b.build())
+    for arch_name in ("P100", "G80"):
+        result = assert_equivalent_launch(module, 2, 64, {"out": np.zeros(128)},
+                                          get_arch(arch_name), kernel_name="ctlk")
+        assert result is not None
+
+
+def test_load_cost_override_equivalent():
+    """A cost-overridden load is priced statically exactly once.
+
+    Pins the JIT fix: the compiled path used to charge the override in its
+    static prelude *and* run the dynamic pricing, double-charging relative
+    to the dispatch/oracle tiers.
+    """
+    arch = get_arch("P100").with_overrides(cost_overrides={"load": 7})
+    kernel = build_toy_kernel()
+    rng = np.random.default_rng(9)
+    x = rng.normal(size=256)
+    y = rng.normal(size=256)
+    result = assert_equivalent_launch(
+        kernel.module, 4, 64, {"x": x, "y": y, "out": np.zeros(256), "n": 256},
+        arch, kernel_name="saxpy_wasteful")
+    assert result is not None
+    assert result.counters["override_cycles"] > 0

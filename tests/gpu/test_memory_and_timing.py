@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import KernelTrap, LaunchError
 from repro.gpu import (
@@ -18,6 +20,8 @@ from repro.gpu.memory import (
     BufferHandle,
     GlobalMemory,
     SharedMemoryBlock,
+    conflicts_from_stats,
+    transactions_from_stats,
 )
 from repro.gpu.timing import CostModel, MemoryAccessInfo
 from repro.ir import Instruction, KernelBuilder, Param, Reg, Const
@@ -41,6 +45,90 @@ class TestCoalescingAndConflicts:
 
     def test_two_way_conflict(self):
         assert bank_conflicts(np.array([0, 32, 1, 2, 3])) == 2
+
+
+def _oracle_transactions(idx: np.ndarray, segment_size: int) -> int:
+    """The pre-vectorization definition: distinct touched segments."""
+    if idx.size == 0:
+        return 0
+    return int(np.unique(idx // segment_size).size)
+
+
+def _oracle_conflicts(idx: np.ndarray, num_banks: int) -> int:
+    """The pre-vectorization definition: deepest bank occupancy."""
+    if idx.size == 0:
+        return 1
+    return int(np.bincount(idx % num_banks).max())
+
+
+class TestPricingProperties:
+    """The vectorized pricing stack against its ``np.unique`` oracle.
+
+    ``coalesced_transactions`` / ``bank_conflicts`` grew span- and
+    contiguity-based fast paths (plus ``*_from_stats`` variants fed by the
+    fused bounds check); every shortcut must agree with the direct
+    definition on the whole non-negative index domain and on non-default
+    geometry.
+    """
+
+    @given(indices=st.lists(st.integers(0, 4096), max_size=64),
+           segment_size=st.sampled_from([8, 16, 32, 128]))
+    @settings(max_examples=120, deadline=None)
+    def test_transactions_match_oracle(self, indices, segment_size):
+        idx = np.array(indices, dtype=np.int64)
+        assert (coalesced_transactions(idx, segment_size)
+                == _oracle_transactions(idx, segment_size))
+
+    @given(indices=st.lists(st.integers(0, 4096), max_size=64),
+           num_banks=st.sampled_from([4, 16, 32]))
+    @settings(max_examples=120, deadline=None)
+    def test_conflicts_match_oracle(self, indices, num_banks):
+        idx = np.array(indices, dtype=np.int64)
+        assert (bank_conflicts(idx, num_banks)
+                == _oracle_conflicts(idx, num_banks))
+
+    @given(indices=st.lists(st.integers(0, 4096), max_size=64),
+           segment_size=st.sampled_from([8, 16, 32]),
+           num_banks=st.sampled_from([4, 16, 32]))
+    @settings(max_examples=120, deadline=None)
+    def test_stats_variants_match_plain(self, indices, segment_size, num_banks):
+        idx = np.array(indices, dtype=np.int64)
+        lo = int(idx.min()) if idx.size else 0
+        hi = int(idx.max()) if idx.size else -1
+        assert (transactions_from_stats(idx.copy(), lo, hi, segment_size)
+                == coalesced_transactions(idx, segment_size))
+        assert (conflicts_from_stats(idx.copy(), lo, hi, num_banks)
+                == bank_conflicts(idx, num_banks))
+
+    def test_empty_access(self):
+        empty = np.array([], dtype=np.int64)
+        assert coalesced_transactions(empty, 16) == 0
+        assert bank_conflicts(empty, 16) == 1
+
+    def test_single_lane(self):
+        one = np.array([37], dtype=np.int64)
+        assert coalesced_transactions(one, 16) == 1
+        assert bank_conflicts(one, 16) == 1
+
+    def test_fully_coalesced_non_default_geometry(self):
+        idx = np.arange(32, dtype=np.int64)
+        # A 32-lane contiguous access spans two 16-element segments but
+        # only one 32-element segment.
+        assert coalesced_transactions(idx, 16) == 2
+        assert coalesced_transactions(idx, 32) == 1
+        assert bank_conflicts(idx, 16) == 2
+        assert bank_conflicts(idx, 32) == 1
+
+    def test_worst_case_scatter(self):
+        idx = np.arange(32, dtype=np.int64) * 64
+        assert coalesced_transactions(idx, 16) == 32
+        assert bank_conflicts(idx, 16) == 32
+
+    def test_contiguity_shortcut_requires_unit_steps(self):
+        # Span == size - 1 but with a duplicate and a gap: the fast path
+        # must fall through to the bincount, not ceil-divide.
+        idx = np.array([0, 1, 1, 3], dtype=np.int64)
+        assert bank_conflicts(idx, 4) == 2
 
 
 class TestBufferHandle:
@@ -168,6 +256,74 @@ class TestCostModel:
 
     def test_cycles_to_milliseconds(self):
         assert cycles_to_milliseconds(P100.clock_mhz * 1000.0, P100) == pytest.approx(1.0)
+
+
+class TestCounterSymmetry:
+    """Every charged cycle lands in a counter, and the sums agree."""
+
+    CYCLE_COUNTERS = ("alu_cycles", "branch_cycles", "barrier_cycles",
+                      "warp_sync_cycles", "shuffle_cycles", "global_cycles",
+                      "shared_cycles", "override_cycles")
+
+    def test_counter_sums_equal_charged_cycles(self):
+        model = CostModel(get_arch("P100"))
+        gbuf = BufferHandle("g", "global", np.zeros(4096))
+        sbuf = BufferHandle("s", "shared", np.zeros(64))
+        load = Instruction("load", dest="v", operands=[Reg("g"), Reg("i")])
+        store = Instruction("store", operands=[Reg("s"), Reg("i"), Reg("v")])
+        charged = 0.0
+        charged += model.instruction_cost(
+            Instruction("add", dest="a", operands=[Const(1), Const(2)]), 32)
+        charged += model.instruction_cost(
+            Instruction("syncthreads", operands=[]), 32)
+        charged += model.instruction_cost(
+            load, 32, MemoryAccessInfo(gbuf, np.arange(32) * 3))
+        charged += model.instruction_cost(
+            store, 32, MemoryAccessInfo(sbuf, np.zeros(32, dtype=np.int64)))
+        # The trapped path (access never resolved) must charge a counter
+        # too -- historically it bumped nothing, breaking the symmetry.
+        charged += model.instruction_cost(load, 32, None)
+        counted = sum(model.counters.get(key, 0.0)
+                      for key in self.CYCLE_COUNTERS)
+        assert counted == charged
+
+    def test_shared_access_records_conflict_evidence(self):
+        model = CostModel(get_arch("P100"))
+        sbuf = BufferHandle("s", "shared", np.zeros(64))
+        load = Instruction("load", dest="v", operands=[Reg("s"), Reg("i")])
+        model.instruction_cost(
+            load, 32, MemoryAccessInfo(sbuf, np.zeros(32, dtype=np.int64)))
+        assert model.counters["shared_conflicts"] == 32.0
+
+
+class TestArchGeometry:
+    """Pricing geometry comes from the arch, never from literals."""
+
+    def test_g80_registered_with_non_default_geometry(self):
+        g80 = get_arch("G80")
+        assert g80.memory_segment_size == 16
+        assert g80.shared_banks == 16
+        assert get_arch("P100").memory_segment_size == 32
+        assert get_arch("P100").shared_banks == 32
+
+    def test_geometry_changes_the_price(self):
+        load = Instruction("load", dest="v", operands=[Reg("g"), Reg("i")])
+        handle = BufferHandle("g", "global", np.zeros(4096))
+        indices = np.arange(32)  # one 32-wide segment, two 16-wide ones
+
+        def transactions(arch):
+            model = CostModel(arch)
+            model.instruction_cost(load, 32, MemoryAccessInfo(handle, indices))
+            return model.counters["global_transactions"]
+
+        assert transactions(get_arch("P100")) == 1.0
+        assert transactions(get_arch("G80")) == 2.0
+
+    def test_geometry_is_part_of_the_cost_signature(self):
+        narrow = P100.with_overrides(memory_segment_size=16)
+        banked = P100.with_overrides(shared_banks=16)
+        assert narrow.cost_signature() != P100.cost_signature()
+        assert banked.cost_signature() != P100.cost_signature()
 
 
 class TestProfiler:

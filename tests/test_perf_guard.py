@@ -79,3 +79,47 @@ def test_gate_is_unaffected_by_tracing_state(tmp_path):
     path = tmp_path / "bench.json"
     write_trajectory(path, [10.0, 10.0])
     assert main([str(path)]) == 0
+
+
+def test_multi_check_compares_each_pair(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    runs = [
+        {"gate": "jit", "hot_loop": {"speedup": 10.0}},
+        {"gate": "memory_pricing", "mem_loop": {"speedup": 8.0}},
+        {"gate": "jit", "hot_loop": {"speedup": 9.5}},
+        {"gate": "memory_pricing", "mem_loop": {"speedup": 7.8}},
+    ]
+    path.write_text(json.dumps({"runs": runs}))
+    assert main([str(path), "--check", "jit:hot_loop",
+                 "--check", "memory_pricing:mem_loop"]) == 0
+    out = capsys.readouterr().out
+    assert "jit hot_loop" in out and "memory_pricing mem_loop" in out
+
+
+def test_multi_check_fails_when_any_pair_regresses(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    runs = [
+        {"gate": "jit", "hot_loop": {"speedup": 10.0}},
+        {"gate": "memory_pricing", "mem_loop": {"speedup": 8.0}},
+        {"gate": "jit", "hot_loop": {"speedup": 10.0}},       # flat
+        {"gate": "memory_pricing", "mem_loop": {"speedup": 4.0}},  # -50%
+    ]
+    path.write_text(json.dumps({"runs": runs}))
+    assert main([str(path), "--check", "jit:hot_loop",
+                 "--check", "memory_pricing:mem_loop"]) == 1
+    assert "REGRESSION: memory_pricing mem_loop" in capsys.readouterr().out
+
+
+def test_empty_document_and_missing_runs_key_exit_cleanly(tmp_path, capsys):
+    # An empty JSON object or a document without a "runs" list is a fresh
+    # trajectory, not an error -- the guard must not traceback on it.
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    assert main([str(empty), "--check", "memory_pricing:mem_loop"]) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+    no_runs = tmp_path / "no_runs.json"
+    no_runs.write_text(json.dumps({"benchmark": "simulator_fast_path"}))
+    assert main([str(no_runs)]) == 0
+    empty_runs = tmp_path / "empty_runs.json"
+    empty_runs.write_text(json.dumps({"runs": []}))
+    assert main([str(empty_runs)]) == 0

@@ -17,6 +17,13 @@ Usage::
 
     python tools/check_perf_regression.py [BENCH_simulator.json]
         [--threshold 0.2] [--gate jit] [--metric hot_loop]
+        [--check GATE:METRIC ...]
+
+``--check`` compares several gate/metric pairs in one invocation (e.g.
+``--check jit:hot_loop --check memory_pricing:mem_loop``); the exit code
+is non-zero when *any* pair regressed.  A missing file, an empty
+document, or a trajectory without ``runs`` is never an error -- there is
+simply nothing to compare yet.
 """
 
 from __future__ import annotations
@@ -56,6 +63,26 @@ def speedups(runs: list, gate: str, metric: str) -> list:
     return values
 
 
+def check_pair(runs: list, gate: str, metric: str, threshold: float) -> int:
+    """Compare the last two entries of one gate/metric pair; 0 = fine."""
+    values = speedups(runs, gate, metric)
+    if len(values) < 2:
+        print(f"{len(values)} {gate!r} run(s) in trajectory; "
+              "nothing to compare yet")
+        return 0
+    (previous_stamp, previous), (latest_stamp, latest) = values[-2], values[-1]
+    drop = (previous - latest) / previous if previous > 0 else 0.0
+    print(f"{gate} {metric} speedup: "
+          f"{previous:.2f}x ({previous_stamp}) -> {latest:.2f}x ({latest_stamp}) "
+          f"[{-drop:+.1%}]")
+    if drop > threshold:
+        print(f"REGRESSION: {gate} {metric} speedup dropped {drop:.1%} "
+              f"(> {threshold:.0%} threshold)")
+        return 1
+    print("within threshold")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="run-over-run perf regression check for the simulator "
@@ -70,25 +97,27 @@ def main(argv=None) -> int:
     parser.add_argument("--metric", default="hot_loop",
                         help="which section's speedup to compare "
                              "(default: hot_loop)")
+    parser.add_argument("--check", action="append", default=None,
+                        metavar="GATE:METRIC",
+                        help="compare this gate/metric pair; repeatable, "
+                             "overrides --gate/--metric; non-zero exit when "
+                             "any pair regressed")
     arguments = parser.parse_args(argv)
 
-    runs = speedups(load_runs(Path(arguments.trajectory)),
-                    arguments.gate, arguments.metric)
-    if len(runs) < 2:
-        print(f"{len(runs)} {arguments.gate!r} run(s) in trajectory; "
-              "nothing to compare yet")
-        return 0
-    (previous_stamp, previous), (latest_stamp, latest) = runs[-2], runs[-1]
-    drop = (previous - latest) / previous if previous > 0 else 0.0
-    print(f"{arguments.gate} {arguments.metric} speedup: "
-          f"{previous:.2f}x ({previous_stamp}) -> {latest:.2f}x ({latest_stamp}) "
-          f"[{-drop:+.1%}]")
-    if drop > arguments.threshold:
-        print(f"REGRESSION: speedup dropped {drop:.1%} "
-              f"(> {arguments.threshold:.0%} threshold)")
-        return 1
-    print("within threshold")
-    return 0
+    pairs = []
+    for item in arguments.check or []:
+        gate, separator, metric = item.partition(":")
+        if not separator or not gate or not metric:
+            parser.error(f"--check expects GATE:METRIC, got {item!r}")
+        pairs.append((gate, metric))
+    if not pairs:
+        pairs = [(arguments.gate, arguments.metric)]
+
+    runs = load_runs(Path(arguments.trajectory))
+    status = 0
+    for gate, metric in pairs:
+        status |= check_pair(runs, gate, metric, arguments.threshold)
+    return status
 
 
 if __name__ == "__main__":
