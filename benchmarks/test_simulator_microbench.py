@@ -63,6 +63,14 @@ MEMORY_PRICING_MIN_SPEEDUP_VS_ORACLE = 5.0
 #: ``price_access`` seam.
 MEMORY_PRICING_MIN_SPEEDUP_VS_DISPATCH = 2.0
 
+#: Required speedup of one 16-row batched SimCov fitness-grid wave over 16
+#: per-launch JIT runs (measured ~2.2-3.1x; 2.0 is the acceptance floor).
+POPULATION_BATCH_GRID_MIN_SPEEDUP = 2.0
+
+#: Required speedup of a GEVO clone wave (operand-mutated variants sharing
+#: one structural key) batched vs solo (measured ~2-3x; 1.5 floor).
+POPULATION_BATCH_CLONE_MIN_SPEEDUP = 1.5
+
 
 @pytest.fixture(scope="module")
 def device():
@@ -318,6 +326,113 @@ def test_jit_speedup_gate():
     assert simcov_dispatch / simcov_jit >= JIT_WORKLOAD_MIN_SPEEDUP, (
         f"SIMCoV JIT below floor vs dispatch: "
         f"{simcov_dispatch / simcov_jit:.2f}x")
+
+
+# --------------------------------------------------------------------------- population-batch gate
+def measure_batched_vs_solo(batched_fn, solo_fn, floor, repeat=2, attempts=2):
+    """Best-of wall-clock for the batched wave and the solo loop, keeping
+    the best attempt (a perf gate should not flake on scheduler noise)."""
+    best = None
+    for _ in range(attempts):
+        batched_s = best_of(batched_fn, repeat)
+        solo_s = best_of(solo_fn, repeat)
+        if best is None or solo_s / batched_s > best[1] / best[0]:
+            best = (batched_s, solo_s)
+        if best[1] / best[0] >= floor:
+            break
+    return best
+
+
+def test_population_batch_gate():
+    """Regression gate for population-batched evaluation.
+
+    One batched launch wave must stay >= 2x over per-launch JIT runs on
+    the SimCov 16-point fitness parameter grid (same program, per-row
+    scalar parameters) and >= 1.5x on a GEVO clone wave (operand-mutated
+    variants sharing one structural key).  Bit-for-bit equivalence of the
+    measured waves is re-checked first, so batching can never buy speed
+    with drift, and both measurements join the benchmark trajectory.
+    """
+    import dataclasses
+
+    from repro.gevo import apply_edits
+    from repro.gevo.edits import OperandReplace
+    from repro.ir.values import Const
+
+    driver = SimCovDriver(arch=get_arch("P100"))
+    solo_driver = SimCovDriver(arch=get_arch("P100"))
+
+    # (1) The fitness grid: 16 parameter points, one program.
+    base = SimCovParams.fitness()
+    grid = [dataclasses.replace(base, virion_diffusion=diffusion,
+                                virion_production=production)
+            for diffusion in (0.10, 0.13, 0.16, 0.19)
+            for production in (0.9, 1.0, 1.1, 1.2)]
+    grid_rows = [(params, None) for params in grid]
+    batched = driver.run_batched(grid_rows)
+    solo = [solo_driver.run(params) for params in grid]
+    for row, (batched_run, solo_run) in enumerate(zip(batched, solo)):
+        assert not isinstance(batched_run, Exception), row
+        assert batched_run.kernel_time_ms == solo_run.kernel_time_ms, row
+        for field, value in vars(solo_run.state).items():
+            if isinstance(value, np.ndarray):
+                np.testing.assert_array_equal(
+                    getattr(batched_run.state, field), value,
+                    err_msg=f"state field {field!r} differs on row {row}")
+
+    grid_batched_s, grid_solo_s = measure_batched_vs_solo(
+        lambda: driver.run_batched(grid_rows),
+        lambda: [solo_driver.run(params) for params in grid],
+        POPULATION_BATCH_GRID_MIN_SPEEDUP)
+    grid_speedup = grid_solo_s / grid_batched_s
+
+    # (2) A GEVO clone wave: operand-mutated variants, one structural key.
+    module = driver.kernels.module
+    produce = module.get_function("simcov_produce")
+    uid, index, value = next(
+        (instruction.uid, position, operand.value)
+        for instruction in produce.instructions()
+        for position, operand in enumerate(instruction.operands)
+        if isinstance(operand, Const)
+        and isinstance(operand.value, float)
+        and not isinstance(operand.value, bool))
+    clones = [apply_edits(module, [OperandReplace(uid, index,
+                                                  Const(value * scale))]).module
+              for scale in np.linspace(0.5, 1.5, 16)]
+    clone_rows = [(base, clone) for clone in clones]
+    batched = driver.run_batched(clone_rows)
+    for row, (batched_run, clone) in enumerate(zip(batched, clones)):
+        assert not isinstance(batched_run, Exception), row
+        solo_run = solo_driver.run(base, clone)
+        assert batched_run.kernel_time_ms == solo_run.kernel_time_ms, row
+
+    clone_batched_s, clone_solo_s = measure_batched_vs_solo(
+        lambda: driver.run_batched(clone_rows),
+        lambda: [solo_driver.run(base, clone) for clone in clones],
+        POPULATION_BATCH_CLONE_MIN_SPEEDUP)
+    clone_speedup = clone_solo_s / clone_batched_s
+
+    append_bench_entry({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "run_id": new_run_id(),
+        "gate": "population_batch",
+        "simcov_grid": {"batched_s": grid_batched_s, "solo_s": grid_solo_s,
+                        "speedup": grid_speedup},
+        "clone_wave": {"batched_s": clone_batched_s, "solo_s": clone_solo_s,
+                       "speedup": clone_speedup},
+    })
+
+    assert grid_speedup >= POPULATION_BATCH_GRID_MIN_SPEEDUP, (
+        f"population batching regressed on the SimCov fitness grid: "
+        f"{grid_speedup:.2f}x < {POPULATION_BATCH_GRID_MIN_SPEEDUP}x "
+        f"(batched {grid_batched_s * 1e3:.1f} ms, "
+        f"solo {grid_solo_s * 1e3:.1f} ms)")
+    assert clone_speedup >= POPULATION_BATCH_CLONE_MIN_SPEEDUP, (
+        f"population batching below floor on the clone wave: "
+        f"{clone_speedup:.2f}x < {POPULATION_BATCH_CLONE_MIN_SPEEDUP}x "
+        f"(batched {clone_batched_s * 1e3:.1f} ms, "
+        f"solo {clone_solo_s * 1e3:.1f} ms)")
 
 
 # --------------------------------------------------------------------------- memory-pricing gate

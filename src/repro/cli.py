@@ -90,6 +90,17 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="shorthand for --interpreter-tier oracle (kept from before the "
              "tier flag existed); combining it with any other explicit tier "
              "is an error")
+    batching = parser.add_mutually_exclusive_group()
+    batching.add_argument(
+        "--batch-launches", dest="batch_launches", action="store_true",
+        default=None,
+        help="stack co-batchable candidates (same structural JIT key) of a "
+             "generation into one (N, lanes) NumPy launch; bit-for-bit "
+             "equivalent to per-candidate launches (default: on for serial "
+             "execution, off when --jobs fans out to a process pool)")
+    batching.add_argument(
+        "--no-batch-launches", dest="batch_launches", action="store_false",
+        help="force per-candidate launches even under serial execution")
     parser.add_argument(
         "--trace", default=None, metavar="DIR",
         help="record a structured telemetry trace under DIR: events.jsonl "
@@ -228,6 +239,24 @@ def _resolve_interpreter_tier(arguments: argparse.Namespace) -> Optional[str]:
     return tier
 
 
+def _resolve_batch_launches(arguments: argparse.Namespace) -> Optional[bool]:
+    """The population-batching switch, or ``None`` for the serial-only default.
+
+    Batched launches run through the segment-JIT tier's stacked factories,
+    so forcing them together with a slower per-candidate tier is a
+    contradiction: rejected loudly, like the tier flags themselves.
+    """
+    batch = getattr(arguments, "batch_launches", None)
+    if batch:
+        tier = _resolve_interpreter_tier(arguments)
+        if tier in ("oracle", "dispatch"):
+            raise ReproError(
+                f"--batch-launches stacks candidates through the segment-JIT "
+                f"tier but --interpreter-tier {tier} pins per-candidate "
+                "interpretation; drop one of the two flags")
+    return batch
+
+
 def _make_telemetry(arguments: argparse.Namespace) -> Telemetry:
     """The command's telemetry handle, with the console reporter attached.
 
@@ -261,7 +290,8 @@ def _make_engine(adapter, arguments: argparse.Namespace,
         executor=make_executor(arguments.jobs, arguments.executor),
         cache=FitnessCache(arguments.cache, backend=backend,
                            shards=arguments.cache_shards),
-        telemetry=telemetry)
+        telemetry=telemetry,
+        batch_launches=_resolve_batch_launches(arguments))
 
 
 def _load_resume_checkpoint(arguments: argparse.Namespace, config: GevoConfig,
@@ -423,6 +453,7 @@ def _command_baseline(arguments: argparse.Namespace) -> int:
 def _command_sweep(arguments: argparse.Namespace) -> int:
     telemetry = _make_telemetry(arguments)
     interpreter_tier = _resolve_interpreter_tier(arguments)
+    batch_launches = _resolve_batch_launches(arguments)
     try:
         archs = parse_arch_list(arguments.arch)
         workloads = [resolve_workload(name.strip())
@@ -462,6 +493,7 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         cache_shards=arguments.cache_shards,
         checkpoint_every=arguments.checkpoint_every,
         interpreter_tier=interpreter_tier,
+        batch_launches=batch_launches,
         telemetry=telemetry,
     )
     _log.info("")

@@ -97,6 +97,16 @@ class WorkloadAdapter(abc.ABC):
         """Run the held-out validation tests (defaults to the fitness tests)."""
         return self.evaluate(module)
 
+    def evaluate_batched(self, modules: Sequence[Module]) -> List[FitnessResult]:
+        """Fitness of N co-batchable variants, bit-for-bit equal to
+        mapping :meth:`evaluate` over *modules*.
+
+        Adapters whose device path supports stacked launches override
+        this; the default just evaluates sequentially, so the engine can
+        hand any adapter a batch group without special-casing.
+        """
+        return [self.evaluate(module) for module in modules]
+
     # -- convenience ---------------------------------------------------------------
     def baseline(self) -> FitnessResult:
         """Fitness of the unmodified program."""

@@ -1199,3 +1199,57 @@ def jit_function(function: Function, arch: GpuArch) -> DecodedFunction:
     if not decoded.jit_ready:
         attach_jit(decoded, arch)
     return decoded
+
+
+# --------------------------------------------------------------------------- structural keys
+def _const_class(value) -> str:
+    """The dtype class a constant operand decodes to (see ``_const_array``)."""
+    if isinstance(value, bool):
+        return "b"
+    return "i" if isinstance(value, int) else "f"
+
+
+def structural_function_key(function: Function, arch: GpuArch) -> tuple:
+    """Whole-function extension of the segment structural key.
+
+    Two functions with equal keys decode to programs of identical shape
+    -- same blocks, opcodes, destinations, register operand names,
+    branch targets, uids, source locations and baked costs -- and differ
+    at most in the *values* of constant operands (within the same dtype
+    class).  That is exactly the co-batchable relation: such clones can
+    execute one batched launch with per-row constant columns
+    (:mod:`repro.gpu.batched`), just as they already share one compiled
+    segment factory here.  The key includes the arch's warp size and
+    cost/pricing signature for the same reason the segment key does.
+    """
+    blocks = []
+    for label in function.block_order():
+        instructions = []
+        for inst in function.blocks[label].instructions:
+            operands = tuple(
+                ("r", op.name) if isinstance(op, Reg)
+                else ("c", _const_class(op.value)) if isinstance(op, Const)
+                else ("o", repr(op))
+                for op in inst.operands)
+            instructions.append((
+                inst.uid, inst.opcode, inst.dest, operands,
+                tuple(sorted((k, v) for k, v in inst.attrs.items()
+                             if isinstance(v, (str, int, float, bool)))),
+                str(inst.loc) if inst.loc is not None else None,
+            ))
+        blocks.append((label, tuple(instructions)))
+    return (
+        function.name,
+        tuple((p.name, p.kind) for p in function.params),
+        tuple((s.name, s.dtype, s.size) for s in function.shared),
+        tuple(blocks),
+        arch.warp_size,
+        arch.cost_signature(),
+        _pricing_signature(arch),
+    )
+
+
+def structural_module_key(module, arch: GpuArch) -> tuple:
+    """Structural co-batching key of a whole module (all functions)."""
+    return tuple(structural_function_key(module.get_function(name), arch)
+                 for name in module.function_order())

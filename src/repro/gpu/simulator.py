@@ -23,11 +23,12 @@ from ..errors import KernelTrap, LaunchError
 from ..ir.analysis import immediate_postdominators
 from ..ir.function import Function, Module
 from .arch import GpuArch, P100, normalize_interpreter_tier
+from .batched import BatchAbort, batchable_function, execute_batched
 from .decoded import decode_function
 from .interpreter import WarpExecutor
-from .jitted import jit_function
+from .jitted import jit_function, structural_function_key
 from .memory import GlobalMemory, SharedMemoryBlock
-from .profiler import ProfileCollector
+from .profiler import InstructionProfile, ProfileCollector
 from .timing import CostModel, cycles_to_milliseconds
 from .warp import WarpState, WarpStatus, broadcast_scalar_arrays, build_thread_identity
 
@@ -211,6 +212,128 @@ class GpuDevice:
             profile=profiler,
             counters=dict(cost_model.counters),
         )
+
+    def launch_batched(
+        self,
+        rows: Sequence[Tuple[Union[Function, Module], Dict[str, object]]],
+        grid: Dim,
+        block: Dim,
+        *,
+        kernel_name: Optional[str] = None,
+        max_instructions_per_warp: Optional[int] = None,
+    ) -> List[Union[LaunchResult, Exception]]:
+        """Launch N structurally identical rows in one stacked pass.
+
+        Each row is a ``(kernel, args)`` pair with the shared ``grid`` x
+        ``block`` geometry: the SimCov fitness grid passes one module
+        with per-row scalar parameters, the engine's clone batching
+        passes per-row mutated modules that share a structural key.  The
+        return value is one entry per row, in order: a
+        :class:`LaunchResult`, or the :class:`KernelTrap` /
+        :class:`LaunchError` that row's solo launch raised.
+
+        Bit-for-bit equivalence with per-row :meth:`launch` calls is the
+        contract (cycles, counters, profiles, RNG streams, buffers,
+        traps).  Whenever the batched model cannot honour it -- a
+        non-batchable kernel, mismatched structural keys, any would-trap
+        condition, cross-row buffer aliasing -- the affected launch
+        falls back to per-row solo execution before any host array is
+        touched, so the fallback is trivially equivalent.
+        """
+        rows = list(rows)
+        if len(rows) < 2 or self.interpreter_tier == "oracle":
+            return self._solo_rows(rows, grid, block, kernel_name,
+                                   max_instructions_per_warp)
+        grid_dim = _as_dim(grid)
+        block_dim = _as_dim(block)
+        try:
+            functions = [self._select_kernel(kernel, kernel_name)
+                         for kernel, _ in rows]
+            for function, (_, args) in zip(functions, rows):
+                self._validate_launch(function, grid_dim, block_dim, args)
+        except LaunchError:
+            return self._solo_rows(rows, grid, block, kernel_name,
+                                   max_instructions_per_warp)
+        template = functions[0]
+        if not batchable_function(template, self.arch):
+            return self._solo_rows(rows, grid, block, kernel_name,
+                                   max_instructions_per_warp)
+        if any(function is not template for function in functions):
+            key = structural_function_key(template, self.arch)
+            for function in functions[1:]:
+                if (function is not template
+                        and structural_function_key(function, self.arch) != key):
+                    return self._solo_rows(rows, grid, block, kernel_name,
+                                           max_instructions_per_warp)
+
+        warp_size = self.arch.warp_size
+        budget = max_instructions_per_warp or self.max_instructions_per_warp
+
+        def identity_of(warp_index, block_coords):
+            return self._thread_identity(warp_index, block_coords, block_dim,
+                                         grid_dim, warp_size)
+
+        try:
+            outcome = execute_batched(
+                functions, [args for _, args in rows], grid_dim, block_dim,
+                self.arch,
+                unified_arena=self.unified_memory_arena,
+                guard_elements=self.arena_guard_elements,
+                budget=budget,
+                profile_enabled=self.profile_enabled,
+                identity_of=identity_of,
+            )
+        except BatchAbort:
+            return self._solo_rows(rows, grid, block, kernel_name,
+                                   max_instructions_per_warp)
+
+        counters = outcome["counters"]
+        touched = outcome["counter_touched"]
+        profiles = outcome["profiles"]
+        blocks_executed = outcome["blocks_executed"]
+        warps_executed = blocks_executed * outcome["warps_per_block"]
+        results: List[Union[LaunchResult, Exception]] = []
+        for row, function in enumerate(functions):
+            collector = ProfileCollector(enabled=self.profile_enabled)
+            for uid, (executions, cycles, opcode, location) in profiles.items():
+                if executions[row]:
+                    collector.instructions[uid] = InstructionProfile(
+                        uid, opcode, location,
+                        int(executions[row]), float(cycles[row]))
+            row_counters = {key: float(values[row])
+                            for key, values in counters.items()
+                            if touched[key][row]}
+            cycles = float(outcome["cycles"][row]) + LAUNCH_OVERHEAD_CYCLES
+            results.append(LaunchResult(
+                kernel=function.name,
+                arch=self.arch,
+                grid=grid_dim,
+                block=block_dim,
+                cycles=cycles,
+                time_ms=cycles_to_milliseconds(cycles, self.arch),
+                blocks_executed=blocks_executed,
+                warps_executed=warps_executed,
+                instructions_executed=int(outcome["instructions"][row]),
+                profile=collector,
+                counters=row_counters,
+            ))
+            # Sequential solo launches leave the last row's profile on the
+            # device; mirror that.
+            self.last_profile = collector
+        return results
+
+    def _solo_rows(self, rows, grid, block, kernel_name,
+                   max_instructions_per_warp):
+        """Per-row fallback: solo launches with per-row trap capture."""
+        outcomes: List[Union[LaunchResult, Exception]] = []
+        for kernel, args in rows:
+            try:
+                outcomes.append(self.launch(
+                    kernel, grid, block, args, kernel_name=kernel_name,
+                    max_instructions_per_warp=max_instructions_per_warp))
+            except (KernelTrap, LaunchError) as error:
+                outcomes.append(error)
+        return outcomes
 
     # -- internals ------------------------------------------------------------------
     def _shared_scalar_arrays(self, scalar_bindings: Dict[str, float]) -> Dict[str, np.ndarray]:

@@ -39,6 +39,7 @@ from .faultpoints import kill_point
 from .telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
+    "BatchPlanner",
     "EngineStats",
     "EvaluationEngine",
     "Executor",
@@ -56,6 +57,56 @@ def default_jobs() -> int:
 def _evaluate_one(adapter: WorkloadAdapter, original, edits: Sequence[Edit]) -> FitnessResult:
     applied = apply_edits(original, edits)
     return adapter.evaluate(applied.module)
+
+
+# -- batch planning ------------------------------------------------------------------
+
+class BatchPlanner:
+    """Partition a wave of applied variants into co-batchable groups.
+
+    Seam rule (see ``docs/ARCHITECTURE.md``): grouping keys on the
+    *structural* JIT key of the applied module -- same decoded segment
+    shapes and operand classes, with baked constants free to differ --
+    never on workload-specific branches.  A group of >= ``min_group_size``
+    variants is handed to the adapter's
+    :meth:`~repro.gevo.fitness.WorkloadAdapter.evaluate_batched` in one
+    stacked launch; everything else stays a singleton on the executor
+    path.  Planning is purely an execution strategy: results are
+    bit-for-bit identical either way (the device batch path falls back to
+    solo launches for anything it cannot reproduce exactly).
+    """
+
+    def __init__(self, arch, min_group_size: int = 2):
+        self.arch = arch
+        self.min_group_size = max(2, int(min_group_size))
+
+    def plan(self, modules: Sequence) -> Tuple[List[List[int]], List[int]]:
+        """Split *modules* into ``(groups, singles)`` index lists.
+
+        Groups preserve first-seen order and each group preserves input
+        order, so the plan is deterministic for a given wave.
+        """
+        if self.arch is None:
+            return [], list(range(len(modules)))
+        from ..gpu.jitted import structural_module_key
+
+        by_key: Dict[object, List[int]] = {}
+        singles: List[int] = []
+        for index, module in enumerate(modules):
+            try:
+                key = structural_module_key(module, self.arch)
+            except Exception:  # pragma: no cover - defensive: unkeyable module
+                singles.append(index)
+                continue
+            by_key.setdefault(key, []).append(index)
+        groups: List[List[int]] = []
+        for members in by_key.values():
+            if len(members) >= self.min_group_size:
+                groups.append(members)
+            else:
+                singles.extend(members)
+        singles.sort()
+        return groups, singles
 
 
 # -- executors -----------------------------------------------------------------------
@@ -165,11 +216,18 @@ def _prewarm_worker_caches(adapter, module) -> None:
         if tier == "oracle":
             return
         if tier == "jit":
+            from ..gpu.batched import batched_program
             from ..gpu.jitted import jit_function as warm
         else:
             from ..gpu.decoded import decode_function as warm
+
+            batched_program = None
         for function in functions.values():
             warm(function, arch)
+            if batched_program is not None:
+                # Also warm the batched launch factories so a pool worker
+                # handed a batch group does not recompile them per group.
+                batched_program(function, arch)
     except Exception:  # noqa: BLE001 - best-effort warm-up only
         pass
 
@@ -337,6 +395,14 @@ class EvaluationEngine:
         A :class:`~repro.runtime.telemetry.Telemetry` handle; batch
         spans, cache counters and executor events flow through it.
         Defaults to the disabled null handle (a true no-op).
+    batch_launches:
+        Population batching: stack co-batchable cache misses (same
+        structural JIT key) into one :class:`BatchPlanner` group and
+        evaluate the group through the adapter's ``evaluate_batched``
+        stacked launch.  ``None`` (the default) enables it exactly when
+        the executor is serial -- a process pool already amortizes Python
+        overhead across workers; ``True``/``False`` force it either way.
+        Purely an execution strategy: results are bit-for-bit identical.
     """
 
     def __init__(self, adapter: WorkloadAdapter, *,
@@ -344,7 +410,8 @@ class EvaluationEngine:
                  cache: Optional[FitnessCache] = None,
                  workload_id: Optional[str] = None,
                  arch_name: Optional[str] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 batch_launches: Optional[bool] = None):
         self.adapter = adapter
         self.executor = executor or SerialExecutor()
         self.cache = cache if cache is not None else FitnessCache()
@@ -352,6 +419,8 @@ class EvaluationEngine:
         self.executor.bind_telemetry(self.telemetry)
         self.original = adapter.original_module()
         arch = getattr(adapter, "arch", None)
+        self.batch_launches = batch_launches
+        self._planner = BatchPlanner(arch)
         self.workload_id = workload_id or getattr(adapter, "name", type(adapter).__name__)
         self.arch_name = arch_name or (getattr(arch, "name", None) or "default")
         #: Number of actual adapter evaluations performed (cache misses executed).
@@ -413,8 +482,7 @@ class EvaluationEngine:
                                 jobs=getattr(self.executor, "jobs", 1),
                                 batch=len(edit_sets),
                                 fresh=len(pending_sets)):
-                fresh = self.executor.run_batch(self.adapter, self.original,
-                                                pending_sets)
+                fresh = self._run_pending(pending_sets)
             self.batch_seconds += time.perf_counter() - start
             self.evaluations += len(fresh)
             telemetry.counter("engine.evaluations").inc(len(fresh))
@@ -435,6 +503,53 @@ class EvaluationEngine:
             kill_point("engine.batch.cached")
 
         return results  # type: ignore[return-value]
+
+    @property
+    def batch_launches_enabled(self) -> bool:
+        """Resolved population-batching switch (``None`` -> serial only)."""
+        if self.batch_launches is not None:
+            return self.batch_launches
+        return isinstance(self.executor, SerialExecutor)
+
+    def _run_pending(self, pending_sets: Sequence[Sequence[Edit]]) -> List[FitnessResult]:
+        """Run the deduplicated cache misses of one wave.
+
+        With population batching off (or nothing to group) this is exactly
+        the executor dispatch it always was.  With it on, the wave's
+        variants are applied, partitioned by :class:`BatchPlanner`, and
+        each group evaluated through the adapter's stacked
+        ``evaluate_batched`` launch; singletons keep the executor path.
+        Results are bit-for-bit identical either way and come back in
+        input order.
+        """
+        if len(pending_sets) < 2 or not self.batch_launches_enabled:
+            return self.executor.run_batch(self.adapter, self.original,
+                                           pending_sets)
+        modules = [apply_edits(self.original, edits).module
+                   for edits in pending_sets]
+        groups, singles = self._planner.plan(modules)
+        if not groups:
+            return self.executor.run_batch(self.adapter, self.original,
+                                           pending_sets)
+        telemetry = self.telemetry
+        fresh: List[Optional[FitnessResult]] = [None] * len(pending_sets)
+        for members in groups:
+            group_results = self.adapter.evaluate_batched(
+                [modules[index] for index in members])
+            for member, result in zip(members, group_results):
+                fresh[member] = result
+            if telemetry.enabled:
+                telemetry.counter("engine.batch_groups").inc()
+                telemetry.counter("engine.batched_launches").inc(len(members))
+                telemetry.histogram("engine.batch_size").observe(
+                    float(len(members)))
+        if singles:
+            solo = self.executor.run_batch(
+                self.adapter, self.original,
+                [pending_sets[index] for index in singles])
+            for index, result in zip(singles, solo):
+                fresh[index] = result
+        return fresh  # type: ignore[return-value]
 
     def baseline(self) -> FitnessResult:
         """Fitness of the unmodified program (cached like any other set)."""

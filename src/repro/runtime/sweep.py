@@ -283,6 +283,7 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
               checkpoint_every: Optional[int] = None,
               reference_interpreter: bool = False,
               interpreter_tier: Optional[str] = None,
+              batch_launches: Optional[bool] = None,
               progress: Optional[Callable[[SweepLeg, LegOutcome], None]] = None,
               telemetry: Optional[Telemetry] = None,
               ) -> SweepReport:
@@ -368,6 +369,7 @@ def run_sweep(spec: SweepSpec, sweep_dir: str, *,
                                    resume_from=resume_from,
                                    reference_interpreter=reference_interpreter,
                                    interpreter_tier=interpreter_tier,
+                                   batch_launches=batch_launches,
                                    telemetry=telemetry)
                 leg_fields.update(_leg_fields(leg, outcome))
             _record_leg_metrics(telemetry, leg, outcome)
@@ -421,6 +423,7 @@ def _run_leg(spec: SweepSpec, leg: SweepLeg, cache: FitnessCache, *,
              resume_from: Optional[str],
              reference_interpreter: bool,
              interpreter_tier: Optional[str] = None,
+             batch_launches: Optional[bool] = None,
              telemetry: Telemetry = NULL_TELEMETRY) -> LegOutcome:
     """Execute one leg through the engine seam and summarise it."""
     from ..baselines import HillClimber, RandomSearch
@@ -442,7 +445,8 @@ def _run_leg(spec: SweepSpec, leg: SweepLeg, cache: FitnessCache, *,
     engine = EvaluationEngine(adapter,
                               executor=make_executor(jobs, executor_kind),
                               cache=cache,
-                              telemetry=telemetry)
+                              telemetry=telemetry,
+                              batch_launches=batch_launches)
     hits_before = engine.cache_hits
     start = time.perf_counter()
     try:

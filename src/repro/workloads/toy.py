@@ -105,3 +105,28 @@ class ToyWorkloadAdapter(WorkloadAdapter):
         message = "" if passed else "output differs from 3*x + y"
         return FitnessResult.from_cases(
             [CaseResult("saxpy", passed, launch.time_ms, message)])
+
+    def evaluate_batched(self, modules: List[Module]) -> List[FitnessResult]:
+        """Fitness of N co-batchable variants in one stacked pass.
+
+        Bit-for-bit equivalent to mapping :meth:`evaluate` over *modules*
+        (the original kernel's barrier keeps it on the solo fallback;
+        barrier-deleting variants take the batched path).
+        """
+        blocks = max(1, math.ceil(self.elements / 64))
+        outs = [np.zeros(self.elements) for _ in modules]
+        rows = [(module, {"x": self.x, "y": self.y, "out": out, "n": self.elements})
+                for module, out in zip(modules, outs)]
+        outcomes = self.device.launch_batched(rows, grid=blocks, block=64,
+                                              kernel_name="saxpy_wasteful")
+        results = []
+        for outcome, out in zip(outcomes, outs):
+            if isinstance(outcome, Exception):
+                results.append(FitnessResult.from_cases(
+                    [CaseResult("saxpy", False, math.inf, str(outcome))]))
+                continue
+            passed = bool(np.allclose(out, self.expected))
+            message = "" if passed else "output differs from 3*x + y"
+            results.append(FitnessResult.from_cases(
+                [CaseResult("saxpy", passed, outcome.time_ms, message)]))
+        return results

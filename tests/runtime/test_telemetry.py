@@ -231,6 +231,31 @@ class TestEngineInstrumentation:
         assert len(spans) == 1
         assert spans[0].fields["fresh"] == 2
 
+    def test_population_batch_counters(self, adapter, tmp_path):
+        """Clone batching surfaces through the engine's telemetry seam:
+        group/launch counters plus a batch-size histogram, never print."""
+        from repro.gevo.edits import OperandReplace
+        from repro.ir.values import Const
+
+        module = adapter.original_module()
+        mul_uid = next(
+            instruction.uid for instruction in module.instructions()
+            if instruction.opcode == "mul"
+            and getattr(instruction.operands[1], "value", None) == 3)
+        sets = [[OperandReplace(mul_uid, 1, Const(value))]
+                for value in (3.0, 4.0, 5.0)]
+        trace_dir = str(tmp_path)
+        with Telemetry(trace_dir, run_id="r") as telemetry:
+            engine = EvaluationEngine(adapter, telemetry=telemetry)
+            assert engine.batch_launches_enabled  # serial default: on
+            engine.evaluate_many(sets)
+            engine.close()
+        metrics = load_metrics(trace_dir)
+        assert metrics["counters"]["engine.batch_groups"] == 1
+        assert metrics["counters"]["engine.batched_launches"] == 3
+        histogram = metrics["histograms"]["engine.batch_size"]
+        assert histogram["count"] == 1 and histogram["max"] == 3.0
+
     def test_stats_carry_wall_clock_and_rate(self, adapter, edits):
         engine = EvaluationEngine(adapter)
         engine.evaluate_many([[edits[0]]])
